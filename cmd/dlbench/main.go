@@ -1,0 +1,83 @@
+// dlbench regenerates the paper's tables and figures (see DESIGN.md §4 for
+// the experiment index and EXPERIMENTS.md for recorded results).
+//
+// Examples:
+//
+//	dlbench -list
+//	dlbench -exp fig10
+//	dlbench -exp all -full          # paper-scale inputs (slow)
+//	dlbench -exp fig12 -csv out/    # also dump CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		id   = flag.String("exp", "", "experiment id (fig01, fig10..fig17, table1..table5, abl-*) or 'all'")
+		list = flag.Bool("list", false, "list available experiments")
+		full = flag.Bool("full", false, "paper-scale inputs (slower); default is quick mode")
+		seed = flag.Int64("seed", 42, "input generator seed")
+		csv  = flag.String("csv", "", "directory to also write tables as CSV")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("available experiments:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		if *id == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := exp.Options{Quick: !*full, Seed: *seed}
+	var targets []exp.Experiment
+	if *id == "all" {
+		targets = exp.All()
+	} else {
+		for _, one := range strings.Split(*id, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(one))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dlbench: unknown experiment %q (use -list)\n", one)
+				os.Exit(1)
+			}
+			targets = append(targets, e)
+		}
+	}
+
+	for _, e := range targets {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		tables := e.Run(opts)
+		for i, tb := range tables {
+			tb.Render(os.Stdout)
+			fmt.Println()
+			if *csv != "" {
+				if err := os.MkdirAll(*csv, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "dlbench:", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csv, fmt.Sprintf("%s_%d.csv", e.ID, i))
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dlbench:", err)
+					os.Exit(1)
+				}
+				tb.CSV(f)
+				f.Close()
+			}
+		}
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,166 @@
+// dlsim runs a single DIMM-NMP simulation: pick a system size, an
+// inter-DIMM communication mechanism and a workload, and get the makespan,
+// speedup-relevant counters and the energy breakdown.
+//
+// Examples:
+//
+//	dlsim -mech dimm-link -dimms 8 -channels 4 -workload bfs -scale 15
+//	dlsim -mech mcn -workload pr -iters 5
+//	dlsim -mech dimm-link -topology torus -linkbw 50e9 -workload hotspot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/host"
+	"repro/internal/nmp"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		mech     = flag.String("mech", "dimm-link", "mechanism: dimm-link | mcn | aim | abc-dimm | host-cpu")
+		dimms    = flag.Int("dimms", 8, "number of DIMMs")
+		channels = flag.Int("channels", 4, "number of memory channels")
+		workload = flag.String("workload", "bfs", "workload: bfs | hotspot | kmeans | nw | pr | sssp | spmv | tspow | gemv | histo | p2p | sync")
+		scale    = flag.Int("scale", 14, "graph scale (2^scale vertices) / problem size class")
+		ef       = flag.Int("ef", 8, "graph edge factor")
+		iters    = flag.Int("iters", 4, "iterations (pr, kmeans, hotspot, spmv)")
+		seed     = flag.Int64("seed", 42, "input generator seed")
+		topology = flag.String("topology", "chain", "DIMM-Link topology: chain | ring | mesh | torus")
+		linkbw   = flag.Float64("linkbw", 25e9, "DIMM-Link per-link bandwidth (bytes/s)")
+		polling  = flag.String("polling", "", "polling mode override: base | base+itrpt | proxy | proxy+itrpt")
+		cxl      = flag.Bool("cxl", false, "disaggregated mode: inter-group traffic over CXL instead of host forwarding")
+		bcast    = flag.Bool("broadcast", false, "use the broadcast formulation (pr, sssp, spmv)")
+		profile  = flag.Bool("profile", false, "record the per-thread traffic matrix")
+	)
+	flag.Parse()
+
+	cfg := nmp.DefaultConfig(*dimms, *channels, nmp.Mechanism(*mech))
+	cfg.DL.Topology = core.TopologyKind(*topology)
+	cfg.DL.Link.BytesPerSec = *linkbw
+	if *cxl {
+		cfg.DL.InterGroup = core.ViaCXL
+	}
+	if *polling != "" {
+		mode, err := parsePolling(*polling)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Host.Mode = mode
+	}
+	sys, err := nmp.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	w, err := buildWorkload(*workload, *scale, *ef, *iters, *seed, *bcast, sys)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, checksum := w.Run(sys, sys.DefaultPlacement(), *profile)
+
+	fmt.Printf("workload   %s on %s (%dD-%dC)\n", w.Name(), *mech, *dimms, *channels)
+	fmt.Printf("makespan   %.3f ms\n", float64(res.Makespan)/1e9)
+	fmt.Printf("idc-stall  %.1f%% (non-overlapped IDC cycle ratio)\n", 100*res.IDCStallRatio())
+	fmt.Printf("checksum   %#x\n", checksum)
+
+	ds := make([]dram.Stats, len(sys.Modules))
+	var reads, writes, acts uint64
+	for i, m := range sys.Modules {
+		ds[i] = m.Stats
+		reads += m.Stats.Reads
+		writes += m.Stats.Writes
+		acts += m.Stats.Activations
+	}
+	fmt.Printf("dram       %d reads, %d writes, %d activations\n", reads, writes, acts)
+
+	in := energy.Inputs{
+		Makespan: res.Makespan, NumDIMMs: *dimms, DRAMStats: ds,
+		IsHostRun: nmp.Mechanism(*mech) == nmp.MechHostCPU,
+	}
+	if sys.IC != nil {
+		in.IC = sys.IC.Counters()
+		tb := stats.NewTable("interconnect counters", "counter", "value")
+		c := sys.IC.Counters()
+		for _, name := range c.Names() {
+			tb.Addf(name, c.Get(name))
+		}
+		fmt.Println()
+		tb.Render(os.Stdout)
+	}
+	if sys.Host() != nil {
+		in.Host = &sys.Host().Counters
+		fmt.Printf("\nhost bus occupation: %.2f%%\n", 100*sys.Host().BusOccupation(res.Makespan))
+	}
+	b := energy.Compute(energy.PaperParams(), in)
+	fmt.Printf("energy     %.4f J total (dram %.4f, idc %.4f, cores %.4f)\n",
+		b.Total, b.DRAM, b.IDC, b.Cores)
+}
+
+func parsePolling(s string) (host.PollingMode, error) {
+	switch s {
+	case "base":
+		return host.BasePolling, nil
+	case "base+itrpt":
+		return host.BaseInterrupt, nil
+	case "proxy":
+		return host.ProxyPolling, nil
+	case "proxy+itrpt":
+		return host.ProxyInterrupt, nil
+	}
+	return 0, fmt.Errorf("unknown polling mode %q", s)
+}
+
+func buildWorkload(name string, scale, ef, iters int, seed int64, bcast bool, sys *nmp.System) (workloads.Workload, error) {
+	switch strings.ToLower(name) {
+	case "bfs":
+		return workloads.NewBFSFromGraph(workloads.Community(scale, ef, seed)), nil
+	case "hotspot", "hs":
+		rows := 1 << uint(scale/2)
+		return workloads.NewHotspot(rows, rows, iters), nil
+	case "kmeans", "km":
+		return workloads.NewKMeans(1<<uint(scale), 16, 16, iters, seed), nil
+	case "nw":
+		return workloads.NewNW(1<<uint(scale/2+2), 64, seed), nil
+	case "pr", "pagerank":
+		w := workloads.NewPageRankFromGraph(workloads.Community(scale, ef, seed), iters)
+		w.Broadcast = bcast
+		return w, nil
+	case "sssp":
+		w := workloads.NewSSSPFromGraph(workloads.Community(scale, ef, seed))
+		w.Broadcast = bcast
+		return w, nil
+	case "spmv":
+		w := workloads.NewSpMVFromGraph(workloads.Community(scale, ef, seed), iters)
+		w.Broadcast = bcast
+		return w, nil
+	case "tspow", "ts":
+		return workloads.NewTSPow(1<<uint(scale+4), 64, 4096, seed), nil
+	case "p2p":
+		return &workloads.P2PBench{SrcDIMM: 0, DstDIMM: sys.Cfg.Geo.NumDIMMs - 1,
+			TransferBytes: 4096, TotalBytes: 1 << 22}, nil
+	case "sync":
+		return &workloads.SyncBench{Interval: 500, Rounds: 50}, nil
+	case "gemv":
+		w := workloads.NewGEMV(1<<uint(scale/2+2), 1<<uint(scale/2), iters, seed)
+		w.Broadcast = bcast
+		return w, nil
+	case "histo", "histogram":
+		return workloads.NewHistogram(1<<uint(scale+4), 256, seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlsim:", err)
+	os.Exit(1)
+}

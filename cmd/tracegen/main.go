@@ -1,0 +1,73 @@
+// tracegen dumps a workload's memory trace in the text format of
+// internal/trace — the trace-driven mode the paper's FPGA prototype uses
+// ("we use pre-dumped traces to drive the system"). The trace can be
+// replayed on any system configuration via the trace.Replay kernel.
+//
+// Example:
+//
+//	tracegen -workload bfs -scale 12 -out bfs.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cores"
+	"repro/internal/nmp"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "bfs", "workload: bfs | pr | sssp")
+		scale    = flag.Int("scale", 12, "graph scale")
+		ef       = flag.Int("ef", 8, "edge factor")
+		iters    = flag.Int("iters", 2, "iterations (pr)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		dimms    = flag.Int("dimms", 4, "DIMMs in the recording system")
+		channels = flag.Int("channels", 2, "channels in the recording system")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var w workloads.Workload
+	g := workloads.Community(*scale, *ef, *seed)
+	switch *workload {
+	case "bfs":
+		w = workloads.NewBFSFromGraph(g)
+	case "pr":
+		w = workloads.NewPageRankFromGraph(g, *iters)
+	case "sssp":
+		w = workloads.NewSSSPFromGraph(g)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	sys := nmp.MustNewSystem(nmp.DefaultConfig(*dimms, *channels, nmp.MechDIMMLink))
+	var rec *trace.Recorder
+	sys.InstrumentMemory(func(inner cores.Memory) cores.Memory {
+		rec = trace.NewRecorder(inner, sys.Threads(), sys.Cfg.NMPCore.ClockHz)
+		return rec
+	})
+	w.Run(sys, sys.DefaultPlacement(), false)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := rec.Trace.Encode(dst); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d records from %d threads\n",
+		len(rec.Trace.Records), rec.Trace.Threads)
+}

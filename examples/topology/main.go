@@ -1,0 +1,61 @@
+// Topology exploration (Section VI): wire a DL group as a chain, ring,
+// mesh or torus and compare network properties and end-to-end performance
+// on a communication-heavy kernel.
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/nmp"
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const (
+		dimms    = 16
+		channels = 8
+	)
+	// Static network properties of an 8-DIMM DL group per topology.
+	props := stats.NewTable("8-node DL group network properties",
+		"topology", "diameter", "avg-hops")
+	topos := []struct {
+		kind core.TopologyKind
+		net  noc.Topology
+	}{
+		{core.TopoChain, noc.NewChain(8)},
+		{core.TopoRing, noc.NewRing(8)},
+		{core.TopoMesh, noc.NewMesh(4, 2)},
+		{core.TopoTorus, noc.NewTorus(4, 2)},
+	}
+	for _, tp := range topos {
+		props.Addf(string(tp.kind), noc.Diameter(tp.net), noc.AvgHops(tp.net))
+	}
+	props.Render(os.Stdout)
+	fmt.Println()
+
+	// End-to-end: PageRank on a 16D-8C DIMM-Link system per topology.
+	graph := workloads.Community(14, 8, 3)
+	perf := stats.NewTable("PageRank on 16D-8C DIMM-Link", "topology", "makespan-ms", "vs-chain")
+	var chainMs float64
+	for _, tp := range topos {
+		cfg := nmp.DefaultConfig(dimms, channels, nmp.MechDIMMLink)
+		cfg.DL.Topology = tp.kind
+		sys := nmp.MustNewSystem(cfg)
+		pr := workloads.NewPageRankFromGraph(graph, 3)
+		res, _ := pr.Run(sys, sys.DefaultPlacement(), false)
+		ms := float64(res.Makespan) / 1e9
+		if tp.kind == core.TopoChain {
+			chainMs = ms
+		}
+		perf.Addf(string(tp.kind), ms, chainMs/ms)
+	}
+	perf.Render(os.Stdout)
+	fmt.Println("\n(The chain is the only topology buildable with short-reach GRS links;")
+	fmt.Println(" ring/mesh/torus trade signal-integrity headaches for lower diameter.)")
+}

@@ -1,0 +1,451 @@
+// Package cores models the processing cores (NMP cores in the DIMM buffer
+// chips, and host CPU cores for the baseline) and the threads they run.
+//
+// Simulation is functional-first and timing-directed (DESIGN.md §3): each
+// workload thread runs the real algorithm in its own goroutine against real
+// Go data structures, and reports every memory access, compute phase and
+// synchronization point through a Ctx. The Group scheduler resumes exactly
+// one thread at a time, in simulated-time order, so the whole simulation
+// stays deterministic while the workload code reads and writes its data
+// naturally.
+//
+// The core model is in-order issue with a bounded outstanding-request
+// window (MSHR-style): independent accesses (Load/Store) overlap up to the
+// window size, dependent loads (LoadDep) block the thread until the data
+// returns, and Compute advances the thread's clock. This captures the
+// memory-level parallelism that decides how much IDC latency a workload can
+// hide — the quantity behind the paper's "non-overlapped IDC cycles".
+package cores
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Memory is the memory system a thread group runs against. Implementations
+// (internal/nmp) route accesses through caches, local DRAM and the
+// configured IDC mechanism.
+type Memory interface {
+	// Access performs a read/write issued by the given global core at time
+	// at, returning the completion time and whether the access left the
+	// core's DIMM (an IDC access, for stall attribution).
+	Access(at sim.Time, core int, addr uint64, size uint32, write bool) (sim.Time, bool)
+	// Scatter performs count line-granularity accesses at row-conflicting
+	// offsets within [addr, addr+span) — the random single-element updates
+	// of graph and clustering kernels, where each touched element costs a
+	// whole cache-line transaction. Returns the last completion.
+	Scatter(at sim.Time, core int, addr uint64, span uint64, count uint32, write bool) (sim.Time, bool)
+	// Broadcast pushes size bytes at addr from the core's DIMM to all DIMMs.
+	Broadcast(at sim.Time, core int, addr uint64, size uint32) sim.Time
+	// Barrier synchronizes the calling thread group; see idc.Interconnect.
+	Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time
+}
+
+// Config describes the core microarchitecture.
+type Config struct {
+	ClockHz     float64 // core clock (2.5 GHz in the evaluation)
+	Window      int     // outstanding memory requests per thread
+	IssueCycles uint64  // core cycles to issue one memory operation
+}
+
+// DefaultConfig returns the evaluation's NMP core model: 2.5 GHz, 8
+// outstanding misses, single-issue memory pipeline.
+func DefaultConfig() Config {
+	return Config{ClockHz: 2.5e9, Window: 8, IssueCycles: 1}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("cores: non-positive clock")
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("cores: window %d <= 0", c.Window)
+	}
+	return nil
+}
+
+// ThreadStats aggregates one thread's time breakdown.
+type ThreadStats struct {
+	Finish       sim.Time // when the thread completed
+	IDCStall     sim.Time // stalled on inter-DIMM accesses and sync
+	LocalStall   sim.Time // stalled on local memory
+	Ops          uint64   // memory operations issued
+	RemoteOps    uint64   // operations that crossed DIMMs
+	BytesTouched uint64
+}
+
+type opKind int
+
+const (
+	opLoad opKind = iota
+	opLoadDep
+	opStore
+	opCompute
+	opBarrier
+	opBroadcast
+	opDrain
+	opScatter
+)
+
+type op struct {
+	kind   opKind
+	addr   uint64
+	size   uint32
+	cycles uint64
+	span   uint64
+	write  bool
+}
+
+type slot struct {
+	done   sim.Time
+	remote bool
+}
+
+type thread struct {
+	id       int
+	homeDIMM int
+	coreID   int
+	time     sim.Time
+	ops      chan op
+	ack      chan struct{}
+	started  bool
+	finished bool
+	win      []slot // outstanding ops, issue order
+	stats    ThreadStats
+}
+
+// Group is a gang of threads executing one NMP kernel (or the host
+// baseline). All threads participate in every barrier.
+type Group struct {
+	eng     *sim.Engine
+	cfg     Config
+	mem     Memory
+	period  sim.Time
+	threads []*thread
+	running int
+
+	barrierArr  []sim.Time
+	barrierIn   []bool
+	barrierWait int
+
+	// Profile[i][d] counts thread i's accesses to DIMM d when profiling is
+	// enabled — the M[T][N] table of Algorithm 1.
+	Profile    [][]uint64
+	profiling  bool
+	profDIMMs  int
+	profDIMMOf func(addr uint64) int
+}
+
+// NewGroup creates an empty thread group over the memory system.
+func NewGroup(eng *sim.Engine, cfg Config, mem Memory) *Group {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Group{eng: eng, cfg: cfg, mem: mem, period: sim.Period(cfg.ClockHz)}
+}
+
+// EnableProfiling starts recording the per-thread, per-DIMM access counts
+// used by distance-aware task mapping. dimmOf maps an address to its DIMM;
+// numDIMMs sizes the table.
+func (g *Group) EnableProfiling(numDIMMs int, dimmOf func(addr uint64) int) {
+	g.profiling = true
+	g.profDIMMs = numDIMMs
+	g.profDIMMOf = dimmOf
+	g.Profile = make([][]uint64, len(g.threads))
+	for i := range g.Profile {
+		g.Profile[i] = make([]uint64, numDIMMs)
+	}
+}
+
+// Spawn adds a thread with the given home DIMM (-1 for host threads) and
+// global core ID, running body. Must be called before Run.
+func (g *Group) Spawn(homeDIMM, coreID int, body func(*Ctx)) *ThreadStats {
+	t := &thread{
+		id:       len(g.threads),
+		homeDIMM: homeDIMM,
+		coreID:   coreID,
+		ops:      make(chan op),
+		ack:      make(chan struct{}),
+	}
+	g.threads = append(g.threads, t)
+	g.running++
+	if g.profiling {
+		g.Profile = append(g.Profile, make([]uint64, g.profDIMMs))
+	}
+	go func() {
+		defer close(t.ops)
+		body(&Ctx{g: g, t: t})
+	}()
+	return &t.stats
+}
+
+// Threads returns the number of spawned threads.
+func (g *Group) Threads() int { return len(g.threads) }
+
+// Run drives the simulation until every thread has finished and returns
+// the makespan (the last thread's finish time). It panics on deadlock
+// (mismatched barriers), which is always a workload bug.
+func (g *Group) Run() sim.Time {
+	g.barrierArr = make([]sim.Time, len(g.threads))
+	g.barrierIn = make([]bool, len(g.threads))
+	for _, t := range g.threads {
+		t := t
+		g.eng.At(g.eng.Now(), func() { g.step(t) })
+	}
+	for g.running > 0 {
+		if !g.eng.Step() {
+			panic(fmt.Sprintf("cores: deadlock with %d threads unfinished (mismatched barriers?)", g.running))
+		}
+	}
+	var makespan sim.Time
+	for _, t := range g.threads {
+		if t.stats.Finish > makespan {
+			makespan = t.stats.Finish
+		}
+	}
+	return makespan
+}
+
+// Stats returns the per-thread statistics (valid after Run).
+func (g *Group) Stats() []ThreadStats {
+	out := make([]ThreadStats, len(g.threads))
+	for i, t := range g.threads {
+		out[i] = t.stats
+	}
+	return out
+}
+
+// step resumes thread t at its current simulated time, obtains its next
+// operation, and processes it.
+func (g *Group) step(t *thread) {
+	if t.started {
+		t.ack <- struct{}{} // release the goroutine to produce its next op
+	}
+	t.started = true
+	o, ok := <-t.ops
+	if !ok {
+		g.retireAll(t)
+		t.finished = true
+		t.stats.Finish = t.time
+		g.running--
+		g.checkBarrier()
+		return
+	}
+	switch o.kind {
+	case opCompute:
+		t.time += sim.Cycles(o.cycles, g.period)
+		g.schedule(t)
+	case opLoad, opStore:
+		g.issue(t, o)
+		g.schedule(t)
+	case opScatter:
+		g.makeRoom(t)
+		done, remote := g.mem.Scatter(t.time, t.coreID, o.addr, o.span, o.size, o.write)
+		t.win = append(t.win, slot{done: done, remote: remote})
+		t.stats.Ops++
+		t.stats.BytesTouched += uint64(o.size) * 64
+		if remote {
+			t.stats.RemoteOps++
+		}
+		if g.profiling {
+			g.Profile[t.id][g.profDIMMOf(o.addr)] += uint64(o.size)
+		}
+		t.time += sim.Cycles(g.cfg.IssueCycles*uint64(o.size), g.period)
+		g.schedule(t)
+	case opLoadDep:
+		g.makeRoom(t)
+		done, remote := g.access(t, o)
+		g.accountWait(t, done, remote)
+		t.time = done
+		g.schedule(t)
+	case opBroadcast:
+		g.retireAll(t)
+		done := g.mem.Broadcast(t.time, t.coreID, o.addr, o.size)
+		g.accountWait(t, done, true)
+		t.time = done
+		t.stats.Ops++
+		t.stats.RemoteOps++
+		t.stats.BytesTouched += uint64(o.size)
+		g.schedule(t)
+	case opDrain:
+		g.retireAll(t)
+		g.schedule(t)
+	case opBarrier:
+		g.retireAll(t)
+		g.barrierArr[t.id] = t.time
+		g.barrierIn[t.id] = true
+		g.barrierWait++
+		g.checkBarrier()
+	default:
+		panic(fmt.Sprintf("cores: unknown op kind %d", o.kind))
+	}
+}
+
+func (g *Group) schedule(t *thread) {
+	g.eng.At(t.time, func() { g.step(t) })
+}
+
+// issue puts a non-dependent access into the window, stalling only when the
+// window is full.
+func (g *Group) issue(t *thread, o op) {
+	g.makeRoom(t)
+	done, remote := g.access(t, o)
+	t.win = append(t.win, slot{done: done, remote: remote})
+	t.time += sim.Cycles(g.cfg.IssueCycles, g.period)
+}
+
+// makeRoom retires the oldest window entry, stalling the thread if it is
+// still outstanding.
+func (g *Group) makeRoom(t *thread) {
+	if len(t.win) < g.cfg.Window {
+		return
+	}
+	head := t.win[0]
+	t.win = t.win[1:]
+	g.accountWait(t, head.done, head.remote)
+	if head.done > t.time {
+		t.time = head.done
+	}
+}
+
+// retireAll drains the window (barrier, broadcast, kernel end).
+func (g *Group) retireAll(t *thread) {
+	for _, s := range t.win {
+		g.accountWait(t, s.done, s.remote)
+		if s.done > t.time {
+			t.time = s.done
+		}
+	}
+	t.win = t.win[:0]
+}
+
+// accountWait attributes the stall (if any) between the thread's clock and
+// the completion time.
+func (g *Group) accountWait(t *thread, done sim.Time, remote bool) {
+	if done <= t.time {
+		return
+	}
+	stall := done - t.time
+	if remote {
+		t.stats.IDCStall += stall
+	} else {
+		t.stats.LocalStall += stall
+	}
+}
+
+// access performs the memory access and updates profiling and counters.
+func (g *Group) access(t *thread, o op) (sim.Time, bool) {
+	done, remote := g.mem.Access(t.time, t.coreID, o.addr, o.size, o.kind == opStore)
+	t.stats.Ops++
+	t.stats.BytesTouched += uint64(o.size)
+	if remote {
+		t.stats.RemoteOps++
+	}
+	if g.profiling {
+		g.Profile[t.id][g.profDIMMOf(o.addr)]++
+	}
+	return done, remote
+}
+
+// checkBarrier releases the barrier once every unfinished thread arrived.
+func (g *Group) checkBarrier() {
+	if g.barrierWait == 0 || g.barrierWait < g.running {
+		return
+	}
+	var arrivals []sim.Time
+	var dimms []int
+	var ids []int
+	for _, t := range g.threads {
+		if t.finished || !g.barrierIn[t.id] {
+			continue
+		}
+		arrivals = append(arrivals, g.barrierArr[t.id])
+		dimms = append(dimms, t.homeDIMM)
+		ids = append(ids, t.id)
+	}
+	release := g.mem.Barrier(arrivals, dimms)
+	// If the barrier was completed by a thread *finishing* (rather than
+	// arriving), the release cannot predate that discovery.
+	if now := g.eng.Now(); release < now {
+		release = now
+	}
+	for i, id := range ids {
+		t := g.threads[id]
+		g.barrierIn[id] = false
+		t.stats.IDCStall += release - arrivals[i]
+		t.time = release
+		g.schedule(t)
+	}
+	g.barrierWait = 0
+}
+
+// Ctx is the interface workload code uses to interact with the timing
+// model. All methods must be called from the thread's own goroutine.
+type Ctx struct {
+	g *Group
+	t *thread
+}
+
+func (c *Ctx) send(o op) {
+	c.t.ops <- o
+	<-c.t.ack
+}
+
+// ThreadID returns the thread's index within its group.
+func (c *Ctx) ThreadID() int { return c.t.id }
+
+// HomeDIMM returns the thread's home DIMM (-1 on the host).
+func (c *Ctx) HomeDIMM() int { return c.t.homeDIMM }
+
+// Load issues an independent read of size bytes; it returns once the
+// request is in flight (the window bounds outstanding requests).
+func (c *Ctx) Load(addr uint64, size uint32) { c.send(op{kind: opLoad, addr: addr, size: size}) }
+
+// LoadDep issues a dependent read (pointer chase): the thread blocks until
+// the data has returned.
+func (c *Ctx) LoadDep(addr uint64, size uint32) { c.send(op{kind: opLoadDep, addr: addr, size: size}) }
+
+// Store issues an independent write.
+func (c *Ctx) Store(addr uint64, size uint32) { c.send(op{kind: opStore, addr: addr, size: size}) }
+
+// Compute advances the thread by n core cycles of computation.
+func (c *Ctx) Compute(n uint64) {
+	if n > 0 {
+		c.send(op{kind: opCompute, cycles: n})
+	}
+}
+
+// Barrier synchronizes with every other thread in the group, using the
+// memory system's synchronization mechanism.
+func (c *Ctx) Barrier() { c.send(op{kind: opBarrier}) }
+
+// Broadcast pushes size bytes at addr (on this thread's DIMM) to all DIMMs
+// and blocks until the last DIMM received them.
+func (c *Ctx) Broadcast(addr uint64, size uint32) {
+	c.send(op{kind: opBroadcast, addr: addr, size: size})
+}
+
+// Drain blocks until all of this thread's outstanding accesses complete.
+func (c *Ctx) Drain() { c.send(op{kind: opDrain}) }
+
+// ScatterStore issues count random single-element updates within
+// [addr, addr+span): each costs one line-granularity memory transaction
+// (on any system — this is the access pattern near-memory processing
+// exists to accelerate). The op occupies one window slot; lines contend in
+// the memory system.
+func (c *Ctx) ScatterStore(addr uint64, span uint64, count uint32) {
+	if count == 0 {
+		return
+	}
+	c.send(op{kind: opScatter, addr: addr, span: span, size: count, write: true})
+}
+
+// ScatterLoad is ScatterStore for reads.
+func (c *Ctx) ScatterLoad(addr uint64, span uint64, count uint32) {
+	if count == 0 {
+		return
+	}
+	c.send(op{kind: opScatter, addr: addr, span: span, size: count, write: false})
+}

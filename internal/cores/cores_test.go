@@ -1,0 +1,367 @@
+package cores
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeMem is a Memory with fixed latencies: local accesses take localLat,
+// remote (addr >= remoteBase) take remoteLat.
+type fakeMem struct {
+	localLat   sim.Time
+	remoteLat  sim.Time
+	remoteBase uint64
+	barriers   int
+	barrierLat sim.Time
+	accesses   []uint64
+}
+
+func (f *fakeMem) Access(at sim.Time, core int, addr uint64, size uint32, write bool) (sim.Time, bool) {
+	f.accesses = append(f.accesses, addr)
+	if addr >= f.remoteBase {
+		return at + f.remoteLat, true
+	}
+	return at + f.localLat, false
+}
+
+func (f *fakeMem) Broadcast(at sim.Time, core int, addr uint64, size uint32) sim.Time {
+	return at + f.remoteLat
+}
+
+func (f *fakeMem) Scatter(at sim.Time, core int, addr uint64, span uint64, count uint32, write bool) (sim.Time, bool) {
+	return at + sim.Time(count)*f.localLat, false
+}
+
+func (f *fakeMem) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
+	f.barriers++
+	var m sim.Time
+	for _, a := range arrivals {
+		if a > m {
+			m = a
+		}
+	}
+	return m + f.barrierLat
+}
+
+func newFake() *fakeMem {
+	return &fakeMem{localLat: 50000, remoteLat: 500000, remoteBase: 1 << 30, barrierLat: 10000}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGroup(eng, DefaultConfig(), newFake())
+	g.Spawn(0, 0, func(c *Ctx) {
+		c.Compute(1000) // 1000 cycles at 2.5 GHz = 400 ns
+	})
+	makespan := g.Run()
+	if makespan != 400*sim.Nanosecond {
+		t.Fatalf("makespan = %d, want 400ns", makespan)
+	}
+}
+
+func TestLoadDepBlocks(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	g := NewGroup(eng, DefaultConfig(), fm)
+	g.Spawn(0, 0, func(c *Ctx) {
+		c.LoadDep(0, 64)
+		c.LoadDep(0, 64)
+	})
+	makespan := g.Run()
+	if makespan != 2*fm.localLat {
+		t.Fatalf("makespan = %d, want %d (two serialized loads)", makespan, 2*fm.localLat)
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	cfg := DefaultConfig()
+	g := NewGroup(eng, cfg, fm)
+	g.Spawn(0, 0, func(c *Ctx) {
+		for i := 0; i < 8; i++ { // fits the window: all overlap
+			c.Load(0, 64)
+		}
+	})
+	makespan := g.Run()
+	// All 8 issue back-to-back (1 cycle each) and overlap; the last retires
+	// at issue + localLat.
+	issue := sim.Cycles(cfg.IssueCycles, sim.Period(cfg.ClockHz))
+	want := 7*issue + fm.localLat
+	if makespan != want {
+		t.Fatalf("makespan = %d, want %d", makespan, want)
+	}
+}
+
+func TestWindowLimitsOverlap(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	cfg := DefaultConfig()
+	cfg.Window = 2
+	g := NewGroup(eng, cfg, fm)
+	g.Spawn(0, 0, func(c *Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Load(0, 64)
+		}
+	})
+	narrow := g.Run()
+
+	eng2 := sim.NewEngine()
+	cfg.Window = 16
+	g2 := NewGroup(eng2, cfg, newFake())
+	g2.Spawn(0, 0, func(c *Ctx) {
+		for i := 0; i < 8; i++ {
+			c.Load(0, 64)
+		}
+	})
+	wide := g2.Run()
+	if narrow <= wide {
+		t.Fatalf("window=2 (%d) should be slower than window=16 (%d)", narrow, wide)
+	}
+}
+
+func TestStallAttribution(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	g := NewGroup(eng, DefaultConfig(), fm)
+	st := g.Spawn(0, 0, func(c *Ctx) {
+		c.LoadDep(0, 64)     // local stall
+		c.LoadDep(1<<30, 64) // remote stall
+	})
+	g.Run()
+	if st.LocalStall != fm.localLat {
+		t.Fatalf("LocalStall = %d, want %d", st.LocalStall, fm.localLat)
+	}
+	if st.IDCStall != fm.remoteLat {
+		t.Fatalf("IDCStall = %d, want %d", st.IDCStall, fm.remoteLat)
+	}
+	if st.Ops != 2 || st.RemoteOps != 1 {
+		t.Fatalf("ops = %d/%d", st.Ops, st.RemoteOps)
+	}
+}
+
+func TestBarrierSynchronizesThreads(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	g := NewGroup(eng, DefaultConfig(), fm)
+	var after [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		g.Spawn(i, i, func(c *Ctx) {
+			if i == 0 {
+				c.Compute(10000) // 4 us
+			}
+			c.Barrier()
+			after[i] = c.t.time
+		})
+	}
+	g.Run()
+	if fm.barriers != 1 {
+		t.Fatalf("barriers = %d", fm.barriers)
+	}
+	if after[0] != after[1] {
+		t.Fatalf("threads released at different times: %d vs %d", after[0], after[1])
+	}
+	if after[0] != 4*sim.Microsecond+fm.barrierLat {
+		t.Fatalf("release at %d", after[0])
+	}
+}
+
+func TestMultipleBarrierRounds(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	g := NewGroup(eng, DefaultConfig(), fm)
+	const rounds = 5
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Spawn(i, i, func(c *Ctx) {
+			for r := 0; r < rounds; r++ {
+				c.Compute(uint64(100 * (i + 1)))
+				c.Barrier()
+			}
+		})
+	}
+	g.Run()
+	if fm.barriers != rounds {
+		t.Fatalf("barriers = %d, want %d", fm.barriers, rounds)
+	}
+}
+
+func TestBarrierWithEarlyFinisher(t *testing.T) {
+	// A thread that never reaches the barrier finishes; the remaining
+	// threads' barrier must still release.
+	eng := sim.NewEngine()
+	g := NewGroup(eng, DefaultConfig(), newFake())
+	g.Spawn(0, 0, func(c *Ctx) {
+		c.Compute(100000) // finishes late, no barrier
+	})
+	g.Spawn(1, 1, func(c *Ctx) { c.Barrier() })
+	g.Spawn(2, 2, func(c *Ctx) { c.Barrier() })
+	g.Run() // must not deadlock
+}
+
+func TestDrainWaitsForWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	g := NewGroup(eng, DefaultConfig(), fm)
+	var drained sim.Time
+	g.Spawn(0, 0, func(c *Ctx) {
+		c.Load(1<<30, 64) // remote, 500 us
+		c.Drain()
+		drained = c.t.time
+	})
+	g.Run()
+	if drained < fm.remoteLat {
+		t.Fatalf("drain returned at %d before remote completion %d", drained, fm.remoteLat)
+	}
+}
+
+func TestBroadcastBlocksAndCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	g := NewGroup(eng, DefaultConfig(), fm)
+	st := g.Spawn(0, 0, func(c *Ctx) {
+		c.Broadcast(0, 256)
+	})
+	makespan := g.Run()
+	if makespan != fm.remoteLat {
+		t.Fatalf("makespan = %d", makespan)
+	}
+	if st.RemoteOps != 1 || st.IDCStall != fm.remoteLat {
+		t.Fatalf("stats %+v", *st)
+	}
+}
+
+func TestProfilingCountsPerDIMM(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGroup(eng, DefaultConfig(), newFake())
+	g.Spawn(0, 0, func(c *Ctx) {
+		c.Load(100, 64)     // "DIMM 0"
+		c.Load(1<<30, 64)   // "DIMM 1"
+		c.LoadDep(1<<30, 8) // "DIMM 1"
+	})
+	g.EnableProfiling(2, func(addr uint64) int {
+		if addr >= 1<<30 {
+			return 1
+		}
+		return 0
+	})
+	g.Run()
+	if g.Profile[0][0] != 1 || g.Profile[0][1] != 2 {
+		t.Fatalf("profile = %v", g.Profile[0])
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []uint64 {
+		eng := sim.NewEngine()
+		fm := newFake()
+		g := NewGroup(eng, DefaultConfig(), fm)
+		for i := 0; i < 4; i++ {
+			i := i
+			g.Spawn(i, i, func(c *Ctx) {
+				for j := 0; j < 20; j++ {
+					c.Compute(uint64(13*i + 7))
+					c.LoadDep(uint64(i*1000+j), 64)
+				}
+			})
+		}
+		g.Run()
+		return fm.accesses
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 80 {
+		t.Fatalf("access counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic access order at %d", i)
+		}
+	}
+}
+
+func TestManyThreadsFinish(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGroup(eng, DefaultConfig(), newFake())
+	const n = 64
+	for i := 0; i < n; i++ {
+		g.Spawn(i%4, i, func(c *Ctx) {
+			for j := 0; j < 10; j++ {
+				c.Load(uint64(j*64), 64)
+				c.Compute(50)
+			}
+			c.Barrier()
+		})
+	}
+	if g.Threads() != n {
+		t.Fatalf("Threads() = %d", g.Threads())
+	}
+	g.Run()
+	for i, st := range g.Stats() {
+		if st.Finish == 0 || st.Ops != 10 {
+			t.Fatalf("thread %d stats %+v", i, st)
+		}
+	}
+}
+
+func BenchmarkHandshakeThroughput(b *testing.B) {
+	eng := sim.NewEngine()
+	g := NewGroup(eng, DefaultConfig(), newFake())
+	n := b.N
+	g.Spawn(0, 0, func(c *Ctx) {
+		for i := 0; i < n; i++ {
+			c.Compute(1)
+		}
+	})
+	b.ResetTimer()
+	g.Run()
+}
+
+func TestScatterOccupiesWindowSlot(t *testing.T) {
+	eng := sim.NewEngine()
+	fm := newFake()
+	g := NewGroup(eng, DefaultConfig(), fm)
+	st := g.Spawn(0, 0, func(c *Ctx) {
+		c.ScatterStore(0, 4096, 10) // fake: 10 * localLat
+		c.Drain()
+	})
+	makespan := g.Run()
+	if makespan < 10*fm.localLat {
+		t.Fatalf("scatter completion %d, want >= %d", makespan, 10*fm.localLat)
+	}
+	if st.Ops != 1 || st.BytesTouched != 10*64 {
+		t.Fatalf("stats %+v", *st)
+	}
+}
+
+func TestScatterZeroCountIsNoOp(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGroup(eng, DefaultConfig(), newFake())
+	st := g.Spawn(0, 0, func(c *Ctx) {
+		c.ScatterLoad(0, 4096, 0)
+		c.Compute(10)
+	})
+	g.Run()
+	if st.Ops != 0 {
+		t.Fatalf("zero-count scatter issued an op: %+v", *st)
+	}
+}
+
+func TestScatterProfiled(t *testing.T) {
+	eng := sim.NewEngine()
+	g := NewGroup(eng, DefaultConfig(), newFake())
+	g.Spawn(0, 0, func(c *Ctx) {
+		c.ScatterStore(1<<30, 4096, 7) // remote in fakeMem terms
+	})
+	g.EnableProfiling(2, func(addr uint64) int {
+		if addr >= 1<<30 {
+			return 1
+		}
+		return 0
+	})
+	g.Run()
+	if g.Profile[0][1] != 7 {
+		t.Fatalf("scatter profile = %v, want 7 accesses on DIMM 1", g.Profile[0])
+	}
+}

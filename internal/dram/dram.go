@@ -1,0 +1,294 @@
+// Package dram provides the DDR4 DRAM timing model used for every DIMM in
+// the simulated system (the Ramulator substitute, see DESIGN.md).
+//
+// Each DIMM carries one Module: a set of ranks, each with independent banks
+// and an independent data bus. The centralized buffer chip of an NMP DIMM
+// can drive its ranks in parallel (the paper: "the NMP cores can access
+// local ranks in parallel. Thus, the aggregated memory bandwidth is
+// proportional to the total number of ranks"), which is why the bus is
+// modeled per rank rather than per channel. The host memory-channel bus is
+// a separate, narrower resource owned by the host model.
+//
+// The model is open-page with first-come bank-parallel scheduling: requests
+// reserve their bank and bus in arrival order, banks operate concurrently,
+// and row-buffer locality in the address stream yields row hits exactly as
+// it would under FR-FCFS for the in-order per-thread streams the cores
+// produce.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Timing holds the DRAM timing parameters, all in picoseconds.
+type Timing struct {
+	TRCD  sim.Time // activate to read/write
+	TRP   sim.Time // precharge
+	TCL   sim.Time // CAS latency
+	TRAS  sim.Time // activate to precharge (minimum row open time)
+	TWR   sim.Time // write recovery
+	TRRD  sim.Time // activate to activate, different banks, same rank
+	TFAW  sim.Time // four-activate window per rank
+	TRFC  sim.Time // refresh cycle time
+	TREFI sim.Time // refresh interval
+	TBL   sim.Time // burst duration of one line transfer on the data bus
+
+	// BusBytesPerSec is the per-rank data-bus bandwidth (for transfers
+	// longer than one line the bus, not the burst timing, is the limit).
+	BusBytesPerSec float64
+
+	// ClosedPage selects the closed-page (auto-precharge) row policy: every
+	// column access closes its row, trading row-hit reuse for a shorter
+	// worst-case conflict path. The evaluation uses the open-page default;
+	// the abl-page ablation quantifies the difference.
+	ClosedPage bool
+}
+
+// DDR4_3200 returns timing parameters for DDR4-3200 (values from Micron
+// LR-DIMM datasheets, rounded to the nearest 10 ps). One 64-byte line is an
+// 8-beat burst at 0.3125 ns/beat = 2.5 ns, giving a 25.6 GB/s data bus.
+func DDR4_3200() Timing {
+	return Timing{
+		TRCD:           13750,
+		TRP:            13750,
+		TCL:            13750,
+		TRAS:           32000,
+		TWR:            15000,
+		TRRD:           4900,
+		TFAW:           21000,
+		TRFC:           350000,
+		TREFI:          7800000,
+		TBL:            2500,
+		BusBytesPerSec: 25.6e9,
+	}
+}
+
+// DDR4_2400 returns timing parameters for DDR4-2400 (19.2 GB/s bus).
+func DDR4_2400() Timing {
+	t := DDR4_3200()
+	t.TBL = 3340 // 8 beats at 0.4167 ns
+	t.BusBytesPerSec = 19.2e9
+	return t
+}
+
+// Validate checks the parameters for sanity.
+func (t Timing) Validate() error {
+	if t.TRCD == 0 || t.TRP == 0 || t.TCL == 0 || t.TBL == 0 {
+		return fmt.Errorf("dram: zero core timing parameter: %+v", t)
+	}
+	if t.BusBytesPerSec <= 0 {
+		return fmt.Errorf("dram: non-positive bus bandwidth")
+	}
+	if t.TREFI != 0 && t.TRFC >= t.TREFI {
+		return fmt.Errorf("dram: tRFC %d >= tREFI %d", t.TRFC, t.TREFI)
+	}
+	return nil
+}
+
+// Stats counts DRAM activity for performance and energy reporting.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	RowHits     uint64
+	RowMisses   uint64 // row conflict: close + activate
+	RowEmpty    uint64 // bank closed: activate only
+	Activations uint64
+	ReadBytes   uint64
+	WriteBytes  uint64
+}
+
+type bank struct {
+	openRow    int64 // -1 = closed
+	openedAt   sim.Time
+	casReadyAt sim.Time // earliest next column command (tCCD / tWR)
+	preReadyAt sim.Time // earliest precharge (read/write to precharge)
+}
+
+type rank struct {
+	banks    []bank
+	bus      sim.BusyLine
+	acts     [4]sim.Time // ring of recent activate times for tFAW
+	actIdx   int
+	actCount int
+	lastAct  sim.Time
+}
+
+// Module is the DRAM of one DIMM.
+type Module struct {
+	DIMM  int
+	geo   mem.Geometry
+	tim   Timing
+	ranks []*rank
+	Stats Stats
+}
+
+// New builds the DRAM module of the given DIMM.
+func New(geo mem.Geometry, tim Timing, dimm int) *Module {
+	if err := tim.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Module{DIMM: dimm, geo: geo, tim: tim, ranks: make([]*rank, geo.RanksPerDIMM)}
+	for r := range m.ranks {
+		rk := &rank{banks: make([]bank, geo.BanksPerRank)}
+		for b := range rk.banks {
+			rk.banks[b].openRow = -1
+		}
+		m.ranks[r] = rk
+	}
+	return m
+}
+
+// refreshAdjust pushes t past any refresh window it falls into. Refresh
+// occupies [k*tREFI, k*tREFI + tRFC) for every k >= 1.
+func (m *Module) refreshAdjust(t sim.Time) sim.Time {
+	if m.tim.TREFI == 0 {
+		return t
+	}
+	k := t / m.tim.TREFI
+	if k == 0 {
+		return t
+	}
+	start := k * m.tim.TREFI
+	if t < start+m.tim.TRFC {
+		return start + m.tim.TRFC
+	}
+	return t
+}
+
+// activateAt returns the earliest time >= t that an activate may issue on
+// the rank, honoring tRRD and tFAW, and records the activate.
+func (rk *rank) activateAt(t sim.Time, tim Timing) sim.Time {
+	if rk.actCount > 0 && rk.lastAct+tim.TRRD > t {
+		t = rk.lastAct + tim.TRRD
+	}
+	// tFAW: at most 4 activates per rolling window. The ring holds the last
+	// 4 activate times; the new one must be >= oldest + tFAW.
+	if rk.actCount >= 4 {
+		if oldest := rk.acts[rk.actIdx]; oldest+tim.TFAW > t {
+			t = oldest + tim.TFAW
+		}
+	}
+	rk.acts[rk.actIdx] = t
+	rk.actIdx = (rk.actIdx + 1) % 4
+	rk.actCount++
+	rk.lastAct = t
+	return t
+}
+
+// Access performs a read or write of size bytes at addr, starting no
+// earlier than `at`. It returns the time the last data beat completes on
+// the rank data bus. Requests larger than one line are split into
+// line-sized column accesses that pipeline on the bank and serialize on the
+// data bus. addr must belong to this module's DIMM.
+func (m *Module) Access(at sim.Time, addr uint64, size uint32, write bool) sim.Time {
+	if size == 0 {
+		size = 1
+	}
+	line := m.geo.LineBytes
+	first := m.geo.LineAddr(addr)
+	last := m.geo.LineAddr(addr + uint64(size) - 1)
+	done := at
+	for a := first; ; a += line {
+		end := m.accessLine(at, a, write)
+		if end > done {
+			done = end
+		}
+		if a == last {
+			break
+		}
+	}
+	if write {
+		m.Stats.Writes++
+		m.Stats.WriteBytes += uint64(size)
+	} else {
+		m.Stats.Reads++
+		m.Stats.ReadBytes += uint64(size)
+	}
+	return done
+}
+
+func (m *Module) accessLine(at sim.Time, lineAddr uint64, write bool) sim.Time {
+	loc := m.geo.Decode(lineAddr)
+	if loc.DIMM != m.DIMM {
+		panic(fmt.Sprintf("dram: address %#x (DIMM %d) routed to DIMM %d", lineAddr, loc.DIMM, m.DIMM))
+	}
+	rk := m.ranks[loc.Rank]
+	bk := &rk.banks[loc.Bank]
+	t := m.refreshAdjust(at)
+
+	row := int64(loc.Row)
+	if bk.openRow == row {
+		m.Stats.RowHits++
+	} else {
+		if bk.openRow == -1 {
+			m.Stats.RowEmpty++
+			// The bank must be ready (e.g. a closed-page auto-precharge may
+			// still be completing) before the activate can issue.
+			if bk.casReadyAt > t {
+				t = bk.casReadyAt
+			}
+		} else {
+			m.Stats.RowMisses++
+			// Precharge respects tRAS from activation and any in-flight
+			// column traffic on the bank.
+			pre := t
+			if bk.preReadyAt > pre {
+				pre = bk.preReadyAt
+			}
+			if ras := bk.openedAt + m.tim.TRAS; ras > pre {
+				pre = ras
+			}
+			t = pre + m.tim.TRP
+		}
+		actAt := rk.activateAt(t, m.tim)
+		m.Stats.Activations++
+		bk.openedAt = actAt
+		bk.casReadyAt = actAt + m.tim.TRCD
+		bk.openRow = row
+	}
+
+	// Column access: consecutive CAS commands to an open row pipeline every
+	// tCCD (~= the burst time), so a streaming sweep is bus-limited. The
+	// data burst occupies the rank bus tCL after the CAS issues.
+	casIssue := t
+	if bk.casReadyAt > casIssue {
+		casIssue = bk.casReadyAt
+	}
+	start, end := rk.bus.Reserve(casIssue+m.tim.TCL, m.tim.TBL)
+	casIssue = start - m.tim.TCL // bus backpressure delays the CAS itself
+	if write {
+		bk.casReadyAt = end + m.tim.TWR
+		bk.preReadyAt = end + m.tim.TWR
+	} else {
+		bk.casReadyAt = casIssue + m.tim.TBL
+		bk.preReadyAt = end
+	}
+	if m.tim.ClosedPage {
+		// Auto-precharge: the row closes behind the burst; the next access
+		// to this bank pays a fresh activate (but never a conflict).
+		bk.openRow = -1
+		bk.casReadyAt = bk.preReadyAt + m.tim.TRP
+	}
+	return end
+}
+
+// BusUtilization returns per-rank data-bus utilization over [0, now].
+func (m *Module) BusUtilization(now sim.Time) []float64 {
+	us := make([]float64, len(m.ranks))
+	for i, rk := range m.ranks {
+		us[i] = rk.bus.Utilization(now)
+	}
+	return us
+}
+
+// PeakBytesPerSec returns the aggregate peak bandwidth of the module
+// (ranks x per-rank bus bandwidth).
+func (m *Module) PeakBytesPerSec() float64 {
+	return float64(len(m.ranks)) * m.tim.BusBytesPerSec
+}
+
+// Timing returns the module's timing parameters.
+func (m *Module) Timing() Timing { return m.tim }

@@ -1,0 +1,94 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestPaperConstants(t *testing.T) {
+	p := PaperParams()
+	if p.LinkPJPerBit != 1.17 || p.DRAMPJPerBit != 14 || p.BusIOPJPerBit != 22 ||
+		p.ActivateNJ != 2.1 || p.NMPProcWatt != 1.8 {
+		t.Fatalf("published constants drifted: %+v", p)
+	}
+}
+
+func TestDRAMEnergy(t *testing.T) {
+	p := PaperParams()
+	in := Inputs{
+		Makespan: 0,
+		NumDIMMs: 1,
+		DRAMStats: []dram.Stats{{
+			ReadBytes:   1000,
+			WriteBytes:  1000,
+			Activations: 100,
+		}},
+	}
+	b := Compute(p, in)
+	want := 2000*8*14e-12 + 100*2.1e-9
+	if math.Abs(b.DRAM-want) > 1e-15 {
+		t.Fatalf("DRAM energy %v, want %v", b.DRAM, want)
+	}
+}
+
+func TestLinkVsBusEnergyRatio(t *testing.T) {
+	// Moving a byte over GRS must be ~19x cheaper than over the memory bus
+	// (1.17 vs 22 pJ/b) — the core of DIMM-Link's energy win.
+	p := PaperParams()
+	var link, bus stats.Counters
+	link.Add("link.bytes", 1<<20)
+	bus.Add("hostbus.bytes", 1<<20)
+	bLink := Compute(p, Inputs{NumDIMMs: 1, IC: &link})
+	bBus := Compute(p, Inputs{NumDIMMs: 1, Host: &bus})
+	ratio := bBus.IDC / bLink.IDC
+	if math.Abs(ratio-22/1.17) > 1e-9 {
+		t.Fatalf("bus/link energy ratio %v, want %v", ratio, 22/1.17)
+	}
+}
+
+func TestForwardAndPollEnergy(t *testing.T) {
+	p := PaperParams()
+	var h stats.Counters
+	h.Add("host.forwards", 10)
+	h.Add("host.polls", 100)
+	b := Compute(p, Inputs{NumDIMMs: 1, Host: &h})
+	want := 10*200e-9 + 100*20e-9
+	if math.Abs(b.IDC-want) > 1e-15 {
+		t.Fatalf("host IDC energy %v, want %v", b.IDC, want)
+	}
+}
+
+func TestCoreEnergyScalesWithTimeAndDIMMs(t *testing.T) {
+	p := PaperParams()
+	b := Compute(p, Inputs{Makespan: sim.Second, NumDIMMs: 16})
+	want := 1.8*16 + 10
+	if math.Abs(b.Cores-want) > 1e-9 {
+		t.Fatalf("NMP core energy %v, want %v", b.Cores, want)
+	}
+	h := Compute(p, Inputs{Makespan: sim.Second, NumDIMMs: 16, IsHostRun: true})
+	if math.Abs(h.Cores-95) > 1e-9 {
+		t.Fatalf("host core energy %v, want 95", h.Cores)
+	}
+}
+
+func TestTotalIsSum(t *testing.T) {
+	p := PaperParams()
+	var ic stats.Counters
+	ic.Add("link.bytes", 4096)
+	b := Compute(p, Inputs{
+		Makespan:  sim.Millisecond,
+		NumDIMMs:  4,
+		DRAMStats: []dram.Stats{{ReadBytes: 100, Activations: 1}},
+		IC:        &ic,
+	})
+	if math.Abs(b.Total-(b.DRAM+b.IDC+b.Cores)) > 1e-18 {
+		t.Fatal("total != sum of parts")
+	}
+	if b.DRAM == 0 || b.IDC == 0 || b.Cores == 0 {
+		t.Fatalf("zero component: %+v", b)
+	}
+}

@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"repro/internal/nmp"
+	"repro/internal/placement"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-mapping",
+		Title: "Ablation: distance-aware task mapping recovering from data-oblivious placement (Algorithm 1)",
+		Run:   runAblMapping,
+	})
+	register(Experiment{
+		ID:    "abl-dll",
+		Title: "Ablation: DLL-layer CRC error/retry cost",
+		Run:   runAblDLL,
+	})
+	register(Experiment{
+		ID:    "abl-credits",
+		Title: "Ablation: link flow-control credit depth",
+		Run:   runAblCredits,
+	})
+	register(Experiment{
+		ID:    "abl-payload",
+		Title: "Ablation: DL packet payload size (the LEN field budget)",
+		Run:   runAblPayload,
+	})
+	register(Experiment{
+		ID:    "abl-greedy",
+		Title: "Ablation: MCMF vs greedy thread placement quality",
+		Run:   runAblGreedy,
+	})
+}
+
+// runAblMapping quantifies Algorithm 1's recovery power: starting from a
+// NUMA-domain-aware but hop-oblivious scheduler (group-shuffled placement)
+// and from a fully random one, how much of the aligned performance does the
+// profiled MCMF placement recover? This is where the paper's optimization
+// actually bites; the Figure 10 default placement is already data-aligned,
+// so the end-to-end dl-opt/dl-base gain there is small.
+func runAblMapping(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	tb := stats.NewTable("Ablation — task mapping: makespan relative to aligned placement (higher is better)",
+		"workload", "aligned", "group-shuffled", "shuffled", "mapped-from-group-shuffled", "mapped-from-shuffled")
+	s := o.sizes()
+	suite := []workloads.Workload{
+		workloads.NewBFSFromGraph(workloads.Community(s.graphScale, s.edgeFactor, o.Seed)),
+		workloads.NewKMeans(s.kmPoints, s.kmDims, s.kmK, s.kmIters, o.Seed),
+		workloads.NewPageRankFromGraph(workloads.Community(s.graphScale, s.edgeFactor, o.Seed+1), s.prIters),
+	}
+	for _, w := range suite {
+		aligned := execute(w, nmp.MechDIMMLink, cfg, nil, nil, false)
+		base := float64(aligned.res.Makespan)
+
+		measure := func(start func(sys *nmp.System) []int) (raw float64, mapped float64) {
+			sysProbe := nmp.MustNewSystem(nmp.DefaultConfig(cfg.dimms, cfg.channels, nmp.MechDIMMLink))
+			startPlace := start(sysProbe)
+			rawOut := execute(w, nmp.MechDIMMLink, cfg, nil, startPlace, true)
+			place, err := placement.Optimize(rawOut.res.Profile, rawOut.sys.Link.Distance, rawOut.sys.Cfg.CoresPerDIMM)
+			if err != nil {
+				panic(err)
+			}
+			mapOut := execute(w, nmp.MechDIMMLink, cfg, nil, place, false)
+			return float64(rawOut.res.Makespan), float64(mapOut.res.Makespan) + float64(rawOut.res.Makespan)/100
+		}
+		gRaw, gMapped := measure(func(sys *nmp.System) []int { return sys.GroupShuffledPlacement(o.Seed) })
+		sRaw, sMapped := measure(func(sys *nmp.System) []int { return sys.ShuffledPlacement(o.Seed) })
+		tb.Addf(w.Name(), 1.0, base/gRaw, base/sRaw, base/gMapped, base/sMapped)
+	}
+	return []*stats.Table{tb}
+}
+
+// runAblDLL sweeps injected CRC error rates to price the DLL retry path.
+func runAblDLL(o Options) []*stats.Table {
+	cfg := sysConfig{"8D-4C", 8, 4}
+	s := o.sizes()
+	w := workloads.NewBFSFromGraph(workloads.Community(s.graphScale, s.edgeFactor, o.Seed))
+	tb := stats.NewTable("Ablation — DLL retries: slowdown vs error-free links",
+		"error-every-N-packets", "slowdown", "retries")
+	var base float64
+	for _, every := range []uint64{0, 1000, 100, 10} {
+		every := every
+		out := execute(w, nmp.MechDIMMLink, cfg,
+			func(c *nmp.Config) { c.DL.ErrorEvery = every }, nil, false)
+		t := float64(out.res.Makespan)
+		if every == 0 {
+			base = t
+			tb.Addf("none", 1.0, 0)
+			continue
+		}
+		tb.Addf(every, t/base, out.sys.IC.Counters().Get("link.retries"))
+	}
+	return []*stats.Table{tb}
+}
+
+// runAblCredits sweeps the flow-control window depth.
+func runAblCredits(o Options) []*stats.Table {
+	cfg := sysConfig{"8D-4C", 8, 4}
+	s := o.sizes()
+	w := workloads.NewPageRankFromGraph(workloads.Community(s.graphScale, s.edgeFactor, o.Seed+1), s.prIters)
+	tb := stats.NewTable("Ablation — link credits: speedup vs a 1-credit (stop-and-wait) link",
+		"credits", "speedup")
+	var base float64
+	for _, credits := range []int{1, 2, 4, 16, 64} {
+		credits := credits
+		out := execute(w, nmp.MechDIMMLink, cfg,
+			func(c *nmp.Config) { c.DL.Link.Credits = credits }, nil, false)
+		t := float64(out.res.Makespan)
+		if credits == 1 {
+			base = t
+		}
+		tb.Addf(credits, base/t)
+	}
+	return []*stats.Table{tb}
+}
+
+// runAblPayload sweeps the maximum packet payload via the link's effective
+// per-packet framing: smaller payloads mean more header/tail flits per
+// byte. We approximate by scaling the P2P benchmark's transfer size.
+func runAblPayload(o Options) []*stats.Table {
+	cfg := sysConfig{"4D-2C", 4, 2}
+	tb := stats.NewTable("Ablation — transfer granularity on a 2-hop DIMM-Link path",
+		"transfer-bytes", "bandwidth-MB/s")
+	for _, sz := range []uint32{64, 128, 256, 1024, 4096, 16384} {
+		b := &workloads.P2PBench{SrcDIMM: 0, DstDIMM: 2, TransferBytes: sz, TotalBytes: 1 << 20}
+		out := execute(b, nmp.MechDIMMLink, cfg, nil, nil, false)
+		tb.Addf(sz, out.checksum)
+	}
+	return []*stats.Table{tb}
+}
+
+// runAblGreedy compares Algorithm 1's MCMF placement against the greedy
+// heuristic on the profiled traffic matrices.
+func runAblGreedy(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	s := o.sizes()
+	w := workloads.NewKMeans(s.kmPoints, s.kmDims, s.kmK, s.kmIters, o.Seed)
+	tb := stats.NewTable("Ablation — placement solver: distance-weighted traffic cost (lower is better)",
+		"solver", "cost", "vs-mcmf")
+
+	sysProbe := nmp.MustNewSystem(nmp.DefaultConfig(cfg.dimms, cfg.channels, nmp.MechDIMMLink))
+	start := sysProbe.ShuffledPlacement(o.Seed)
+	raw := execute(w, nmp.MechDIMMLink, cfg, nil, start, true)
+	dist := raw.sys.Link.Distance
+	perDIMM := raw.sys.Cfg.CoresPerDIMM
+
+	opt, err := placement.Optimize(raw.res.Profile, dist, perDIMM)
+	if err != nil {
+		panic(err)
+	}
+	gre, err := placement.Greedy(raw.res.Profile, dist, perDIMM)
+	if err != nil {
+		panic(err)
+	}
+	optCost := placement.TotalCost(raw.res.Profile, dist, opt)
+	greCost := placement.TotalCost(raw.res.Profile, dist, gre)
+	startCost := placement.TotalCost(raw.res.Profile, dist, start)
+	tb.Addf("mcmf (Algorithm 1)", optCost, 1.0)
+	tb.Addf("greedy", greCost, safeDiv(greCost, optCost))
+	tb.Addf("unoptimized (shuffled)", startCost, safeDiv(startCost, optCost))
+	return []*stats.Table{tb}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func init() {
+	register(Experiment{
+		ID:    "abl-page",
+		Title: "Ablation: DRAM row policy (open-page vs closed-page / auto-precharge)",
+		Run:   runAblPage,
+	})
+}
+
+// runAblPage sweeps the DRAM row-buffer policy under DIMM-Link.
+func runAblPage(o Options) []*stats.Table {
+	cfg := sysConfig{"8D-4C", 8, 4}
+	s := o.sizes()
+	suite := []workloads.Workload{
+		workloads.NewBFSFromGraph(workloads.Community(s.graphScale, s.edgeFactor, o.Seed)),
+		workloads.NewHotspot(s.hsRows, s.hsRows, s.hsIters),
+	}
+	tb := stats.NewTable("Ablation — DRAM row policy (speedup of open-page over closed-page)",
+		"workload", "closed-page", "open-page")
+	for _, w := range suite {
+		closed := execute(w, nmp.MechDIMMLink, cfg,
+			func(c *nmp.Config) { c.DRAM.ClosedPage = true }, nil, false)
+		open := execute(w, nmp.MechDIMMLink, cfg, nil, nil, false)
+		tb.Addf(w.Name(), 1.0, speedup(closed.res.Makespan, open.res.Makespan))
+	}
+	return []*stats.Table{tb}
+}

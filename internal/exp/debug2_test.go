@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestDebugFig10Rows(t *testing.T) {
+	if os.Getenv("DLDEBUG") == "" {
+		t.Skip("diagnostic; set DLDEBUG=1 to run")
+	}
+	o := DefaultOptions()
+	abs := map[string]map[string]float64{}
+	rows := fig10Measure(o, []sysConfig{{"8D-4C", 8, 4}}, func(cfg sysConfig, wl, mech string, out runOut) {
+		if abs[wl] == nil {
+			abs[wl] = map[string]float64{}
+		}
+		abs[wl][mech] = float64(out.res.Makespan) / 1e6 // us
+	})
+	for _, r := range rows {
+		fmt.Printf("%-6s mcn=%6.2f aim=%6.2f dl-base=%6.2f dl-opt=%6.2f | idc%% mcn=%4.0f aim=%4.0f dlb=%4.0f dlo=%4.0f | us cpu=%8.1f mcn=%8.1f aim=%8.1f dlb=%8.1f\n",
+			r.workload, r.speedups["mcn"], r.speedups["aim"], r.speedups["dl-base"], r.speedups["dl-opt"],
+			100*r.idcRatio["mcn"], 100*r.idcRatio["aim"], 100*r.idcRatio["dl-base"], 100*r.idcRatio["dl-opt"],
+			abs[r.workload]["host-cpu"], abs[r.workload]["mcn"], abs[r.workload]["aim"], abs[r.workload]["dl-base"])
+	}
+}

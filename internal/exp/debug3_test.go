@@ -1,0 +1,27 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/nmp"
+	"repro/internal/workloads"
+)
+
+func TestDebugDLL(t *testing.T) {
+	if os.Getenv("DLDEBUG") == "" {
+		t.Skip("diagnostic")
+	}
+	o := DefaultOptions()
+	executeOpts = o
+	cfg := sysConfig{"8D-4C", 8, 4}
+	w := workloads.NewBFSFromGraph(workloads.Community(13, 8, o.Seed))
+	for _, every := range []uint64{0, 1000, 100, 10} {
+		every := every
+		out := execute(w, nmp.MechDIMMLink, cfg,
+			func(c *nmp.Config) { c.DL.ErrorEvery = every }, nil, false)
+		fmt.Printf("every=%d makespan=%v retries=%d\n", every,
+			out.res.Makespan, out.sys.IC.Counters().Get("link.retries"))
+	}
+}

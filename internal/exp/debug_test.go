@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/nmp"
+	"repro/internal/workloads"
+)
+
+func TestDebugBFSBreakdown(t *testing.T) {
+	if os.Getenv("DLDEBUG") == "" {
+		t.Skip("diagnostic; set DLDEBUG=1 to run")
+	}
+	o := DefaultOptions()
+	executeOpts = o
+	w := workloads.NewBFS(12, 42)
+	cfg := sysConfig{"8D-4C", 8, 4}
+	for _, mech := range []nmp.Mechanism{nmp.MechHostCPU, nmp.MechMCN, nmp.MechAIM, nmp.MechDIMMLink} {
+		out := execute(w, mech, cfg, nil, nil, false)
+		var idc, local uint64
+		for _, st := range out.res.ThreadStats {
+			idc += uint64(st.IDCStall)
+			local += uint64(st.LocalStall)
+		}
+		n := uint64(len(out.res.ThreadStats))
+		fmt.Printf("%-10s makespan=%8.2fus idcStall/thr=%8.2fus localStall/thr=%8.2fus\n",
+			mech, float64(out.res.Makespan)/1e6, float64(idc/n)/1e6, float64(local/n)/1e6)
+		if out.sys.IC != nil {
+			c := out.sys.IC.Counters()
+			fmt.Printf("           ic: %v\n", map[string]uint64{
+				"reads": c.Get("remote.reads"), "writes": c.Get("remote.writes"),
+				"barriers": c.Get("barriers"), "sync": c.Get("sync.messages"),
+				"intergroup": c.Get("intergroup.accesses"), "packets": c.Get("packets"),
+				"linkbytes": c.Get("link.bytes")})
+		}
+		if out.sys.Host() != nil {
+			hc := out.sys.Host().Counters
+			fmt.Printf("           host: fw=%d fwBytes=%d polls=%d busBytes=%d\n",
+				hc.Get("host.forwards"), hc.Get("fwd.bytes"), hc.Get("host.polls"), hc.Get("hostbus.bytes"))
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/nmp"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-disagg",
+		Title: "Extension (Sec. VI): DIMM-Link memory blades behind a CXL switch vs host forwarding",
+		Run:   runExtDisagg,
+	})
+	register(Experiment{
+		ID:    "ext-nearbank",
+		Title: "Extension (Sec. VI): NMP core count per DIMM (buffer-centric vs near-bank-style parallelism)",
+		Run:   runExtNearBank,
+	})
+	register(Experiment{
+		ID:    "ext-prim",
+		Title: "Extension: PrIM-style GEMV and Histogram kernels across mechanisms",
+		Run:   runExtPrIM,
+	})
+}
+
+// runExtDisagg evaluates the paper's Section VI proposal: organize the two
+// DL groups as memory blades and carry inter-blade traffic over CXL (no
+// host polling or forwarding at all).
+func runExtDisagg(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	tb := stats.NewTable("Extension — inter-group transport on 16D-8C DIMM-Link (speedup over host forwarding)",
+		"workload", "via-host", "via-cxl", "cxl-bytes", "host-forwards-(host-mode)")
+	cxl := func(c *nmp.Config) { c.DL.InterGroup = core.ViaCXL }
+	for _, w := range p2pSuite(o.sizes(), o.Seed) {
+		hostOut := execute(w, nmp.MechDIMMLink, cfg, nil, nil, false)
+		cxlOut := execute(w, nmp.MechDIMMLink, cfg, cxl, nil, false)
+		tb.Addf(w.Name(), 1.0,
+			speedup(hostOut.res.Makespan, cxlOut.res.Makespan),
+			cxlOut.sys.IC.Counters().Get("cxl.bytes"),
+			hostOut.sys.Host().Counters.Get("host.forwards"))
+	}
+	return []*stats.Table{tb}
+}
+
+// runExtNearBank sweeps NMP cores per DIMM: the centralized-buffer design
+// evaluated in the paper uses 4; near-bank designs (UPMEM-style) trade
+// simpler cores for many more of them.
+func runExtNearBank(o Options) []*stats.Table {
+	cfg := sysConfig{"8D-4C", 8, 4}
+	s := o.sizes()
+	suite := []workloads.Workload{
+		workloads.NewBFSFromGraph(workloads.Community(s.graphScale, s.edgeFactor, o.Seed)),
+		workloads.NewHotspot(s.hsRows, s.hsRows, s.hsIters),
+		workloads.NewKMeans(s.kmPoints, s.kmDims, s.kmK, s.kmIters, o.Seed),
+	}
+	tb := stats.NewTable("Extension — NMP cores per DIMM (speedup over 2 cores, DIMM-Link 8D-4C)",
+		"workload", "2-cores", "4-cores", "8-cores", "16-cores")
+	for _, w := range suite {
+		row := []interface{}{w.Name()}
+		var base float64
+		for _, cores := range []int{2, 4, 8, 16} {
+			cores := cores
+			out := execute(w, nmp.MechDIMMLink, cfg,
+				func(c *nmp.Config) { c.CoresPerDIMM = cores }, nil, false)
+			t := float64(out.res.Makespan)
+			if cores == 2 {
+				base = t
+			}
+			row = append(row, base/t)
+		}
+		tb.Addf(row...)
+	}
+	return []*stats.Table{tb}
+}
+
+// runExtPrIM runs the two PrIM-style kernels on every mechanism.
+func runExtPrIM(o Options) []*stats.Table {
+	cfg := sysConfig{"8D-4C", 8, 4}
+	gemvRows, gemvCols := 4096, 1024
+	histoN, histoBins := 1<<20, 256
+	if o.Quick {
+		gemvRows, gemvCols = 2048, 512
+		histoN = 1 << 18
+	}
+	tb := stats.NewTable("Extension — PrIM-style kernels (speedup over the 16-core CPU)",
+		"workload", "mcn", "aim", "dimm-link")
+	type build func() workloads.Workload
+	kernels := []build{
+		func() workloads.Workload { return workloads.NewGEMV(gemvRows, gemvCols, 2, o.Seed) },
+		func() workloads.Workload {
+			g := workloads.NewGEMV(gemvRows, gemvCols, 2, o.Seed)
+			g.Broadcast = true
+			return g
+		},
+		func() workloads.Workload { return workloads.NewHistogram(histoN, histoBins, o.Seed) },
+	}
+	names := []string{"GEMV", "GEMV-BC", "HISTO"}
+	for i, mk := range kernels {
+		cpu := execute(mk(), nmp.MechHostCPU, cfg, nil, nil, false)
+		row := []interface{}{names[i]}
+		for _, mech := range []nmp.Mechanism{nmp.MechMCN, nmp.MechAIM, nmp.MechDIMMLink} {
+			out := execute(mk(), mech, cfg, nil, nil, false)
+			row = append(row, speedup(cpu.res.Makespan, out.res.Makespan))
+		}
+		tb.Addf(row...)
+	}
+	return []*stats.Table{tb}
+}

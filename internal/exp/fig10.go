@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"repro/internal/idc"
+	"repro/internal/nmp"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Title: "P2P IDC performance: speedup over the 16-core CPU and non-overlapped IDC cycle ratio",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Data transfer breakdown of DIMM-Link-opt (local / DIMM-Link / CPU-forwarded)",
+		Run:   runFig11,
+	})
+}
+
+// fig10Row is one (config, workload) measurement set.
+type fig10Row struct {
+	cfg      sysConfig
+	workload string
+	speedups map[string]float64 // mechanism -> speedup over CPU
+	idcRatio map[string]float64 // mechanism -> non-overlapped IDC cycle ratio
+}
+
+// fig10Measure runs the full mechanism sweep for every config/workload and
+// is shared by Figures 10, 11 and 13.
+func fig10Measure(o Options, configs []sysConfig, collect func(cfg sysConfig, wlName, mech string, out runOut)) []fig10Row {
+	executeOpts = o
+	var rows []fig10Row
+	for _, cfg := range configs {
+		for _, w := range p2pSuite(o.sizes(), o.Seed) {
+			row := fig10Row{cfg: cfg, workload: w.Name(),
+				speedups: map[string]float64{}, idcRatio: map[string]float64{}}
+
+			cpu := execute(w, nmp.MechHostCPU, cfg, nil, nil, false)
+			base := cpu.res.Makespan
+
+			for _, mech := range []nmp.Mechanism{nmp.MechMCN, nmp.MechAIM} {
+				out := execute(w, mech, cfg, nil, nil, false)
+				row.speedups[string(mech)] = speedup(base, out.res.Makespan)
+				row.idcRatio[string(mech)] = out.res.IDCStallRatio()
+				if collect != nil {
+					collect(cfg, w.Name(), string(mech), out)
+				}
+			}
+			optTotal, opt, dlBase := runDLOpt(w, cfg, nil)
+			row.speedups["dl-base"] = speedup(base, dlBase.res.Makespan)
+			row.idcRatio["dl-base"] = dlBase.res.IDCStallRatio()
+			row.speedups["dl-opt"] = speedup(base, optTotal)
+			row.idcRatio["dl-opt"] = opt.res.IDCStallRatio()
+			if collect != nil {
+				collect(cfg, w.Name(), "dl-base", dlBase)
+				collect(cfg, w.Name(), "dl-opt", opt)
+				collect(cfg, w.Name(), "host-cpu", cpu)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+var fig10Mechs = []string{"mcn", "aim", "dl-base", "dl-opt"}
+
+func runFig10(o Options) []*stats.Table {
+	rows := fig10Measure(o, p2pConfigs(), nil)
+
+	tb := stats.NewTable("Figure 10 — speedup over 16-core CPU (bars) and non-overlapped IDC cycle ratio (lines)",
+		"config", "workload", "mcn", "aim", "dl-base", "dl-opt",
+		"idc%:mcn", "idc%:aim", "idc%:dl-base", "idc%:dl-opt")
+	perMech := map[string][]float64{}
+	for _, r := range rows {
+		tb.Addf(r.cfg.name, r.workload,
+			r.speedups["mcn"], r.speedups["aim"], r.speedups["dl-base"], r.speedups["dl-opt"],
+			100*r.idcRatio["mcn"], 100*r.idcRatio["aim"],
+			100*r.idcRatio["dl-base"], 100*r.idcRatio["dl-opt"])
+		for _, m := range fig10Mechs {
+			perMech[m] = append(perMech[m], r.speedups[m])
+		}
+	}
+
+	sum := stats.NewTable("Figure 10 — geomean speedups over CPU (paper: MCN 2.45x, AIM 3.17x, DL-base 5.30x, DL-opt 5.93x)",
+		"mechanism", "geomean-speedup", "dl-opt-vs-this")
+	opt := stats.GeoMean(perMech["dl-opt"])
+	for _, m := range fig10Mechs {
+		gm := stats.GeoMean(perMech[m])
+		sum.Addf(m, gm, opt/gm)
+	}
+	return []*stats.Table{tb, sum}
+}
+
+// runFig11 reports where DIMM-Link-opt's bytes travel: local DRAM,
+// DIMM-Link transfers, or CPU-forwarded (the paper: only ~29% of total IDC
+// traffic crosses the host).
+func runFig11(o Options) []*stats.Table {
+	tb := stats.NewTable("Figure 11 — DIMM-Link-opt data transfer breakdown (%)",
+		"workload", "local", "dimm-link", "cpu-forwarded", "fwd-share-of-remote")
+	cfg := sysConfig{"16D-8C", 16, 8}
+	for _, w := range p2pSuite(o.sizes(), o.Seed) {
+		_, opt, _ := runDLOpt(w, cfg, nil)
+		local := float64(opt.sys.Ctrs.Get("bytes.local"))
+		remote := float64(opt.sys.Ctrs.Get("bytes.remote"))
+		fwd := float64(opt.sys.Host().Counters.Get(idc.CtrFwdedBytes))
+		if fwd > remote {
+			fwd = remote
+		}
+		linkLocal := remote - fwd
+		total := local + remote
+		if total == 0 {
+			continue
+		}
+		fwdShare := 0.0
+		if remote > 0 {
+			fwdShare = 100 * fwd / remote
+		}
+		tb.Addf(w.Name(), 100*local/total, 100*linkLocal/total, 100*fwd/total, fwdShare)
+	}
+	return []*stats.Table{tb}
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"repro/internal/nmp"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Broadcast performance: PR/SSSP/SpMV vs MCN-BC, ABC-DIMM (2/3 DPC), AIM-BC",
+		Run:   runFig12,
+	})
+}
+
+// bcSuite builds the three broadcast-manner workloads of Figure 12.
+func bcSuite(s sizing, seed int64) []workloads.Workload {
+	pr := workloads.NewPageRank(s.graphScale, s.prIters, seed+1)
+	pr.Broadcast = true
+	ss := workloads.NewSSSP(s.graphScale, seed+2)
+	ss.Broadcast = true
+	sp := workloads.NewSpMV(s.graphScale, s.prIters, seed+3)
+	sp.Broadcast = true
+	return []workloads.Workload{pr, ss, sp}
+}
+
+func runFig12(o Options) []*stats.Table {
+	// Practical DPC configurations: ABC-DIMM's broadcast reach is the
+	// channel, so DIMMs-per-channel is the axis that matters.
+	configs := []sysConfig{
+		{"8D-4C (2DPC)", 8, 4},
+		{"12D-4C (3DPC)", 12, 4},
+	}
+	tb := stats.NewTable("Figure 12 — broadcast speedup over MCN-BC (paper: DL 2.58x vs MCN-BC, 1.77x vs ABC-DIMM; AIM-BC wins)",
+		"config", "workload", "mcn-bc", "abc-dimm", "dimm-link", "aim-bc")
+	ratios := map[string][]float64{}
+	for _, cfg := range configs {
+		for _, w := range bcSuite(o.sizes(), o.Seed) {
+			mcn := execute(w, nmp.MechMCN, cfg, nil, nil, false)
+			abc := execute(w, nmp.MechABCDIMM, cfg, nil, nil, false)
+			dl := execute(w, nmp.MechDIMMLink, cfg, nil, nil, false)
+			aim := execute(w, nmp.MechAIM, cfg, nil, nil, false)
+			base := mcn.res.Makespan
+			tb.Addf(cfg.name, w.Name(),
+				1.0,
+				speedup(base, abc.res.Makespan),
+				speedup(base, dl.res.Makespan),
+				speedup(base, aim.res.Makespan))
+			ratios["dl-vs-mcn"] = append(ratios["dl-vs-mcn"], speedup(base, dl.res.Makespan))
+			ratios["dl-vs-abc"] = append(ratios["dl-vs-abc"], float64(abc.res.Makespan)/float64(dl.res.Makespan))
+			ratios["aim-vs-dl"] = append(ratios["aim-vs-dl"], float64(dl.res.Makespan)/float64(aim.res.Makespan))
+		}
+	}
+	sum := stats.NewTable("Figure 12 — geomeans", "ratio", "value", "paper")
+	sum.Addf("DIMM-Link vs MCN-BC", stats.GeoMean(ratios["dl-vs-mcn"]), "2.58x")
+	sum.Addf("DIMM-Link vs ABC-DIMM", stats.GeoMean(ratios["dl-vs-abc"]), "1.77x")
+	sum.Addf("AIM-BC vs DIMM-Link", stats.GeoMean(ratios["aim-vs-dl"]), ">1 (ideal bus)")
+	return []*stats.Table{tb, sum}
+}

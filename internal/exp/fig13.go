@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"repro/internal/dram"
+	"repro/internal/energy"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Energy consumption of the IDC methods on 16D-8C",
+		Run:   runFig13,
+	})
+}
+
+func runFig13(o Options) []*stats.Table {
+	params := energy.PaperParams()
+	tb := stats.NewTable("Figure 13 — energy (J) on 16D-8C, by mechanism (DRAM / IDC / cores)",
+		"workload", "mechanism", "dram", "idc", "cores", "total")
+	// Per-mechanism total energy accumulated across workloads for ratios.
+	totals := map[string]float64{}
+	collect := func(cfg sysConfig, wl, mech string, out runOut) {
+		ds := make([]dram.Stats, len(out.sys.Modules))
+		for i, m := range out.sys.Modules {
+			ds[i] = m.Stats
+		}
+		in := energy.Inputs{
+			Makespan:  out.res.Makespan,
+			NumDIMMs:  cfg.dimms,
+			DRAMStats: ds,
+			IsHostRun: mech == "host-cpu",
+		}
+		if out.sys.IC != nil {
+			in.IC = out.sys.IC.Counters()
+		}
+		if out.sys.Host() != nil {
+			in.Host = &out.sys.Host().Counters
+		}
+		b := energy.Compute(params, in)
+		tb.Addf(wl, mech, b.DRAM, b.IDC, b.Cores, b.Total)
+		totals[mech] += b.Total
+	}
+	fig10Measure(o, []sysConfig{{"16D-8C", 16, 8}}, collect)
+
+	sum := stats.NewTable("Figure 13 — total energy ratios (paper: MCN/DL 1.76x, AIM/DL 1.07x)",
+		"ratio", "value")
+	if totals["dl-opt"] > 0 {
+		sum.Addf("MCN / DIMM-Link", totals["mcn"]/totals["dl-opt"])
+		sum.Addf("AIM / DIMM-Link", totals["aim"]/totals["dl-opt"])
+		sum.Addf("CPU / DIMM-Link", totals["host-cpu"]/totals["dl-opt"])
+	}
+	return []*stats.Table{tb, sum}
+}

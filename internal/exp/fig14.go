@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/nmp"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Synchronization: interval sweep and TS.Pow end-to-end",
+		Run:   runFig14,
+	})
+}
+
+func runFig14(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	central := func(c *nmp.Config) { c.DL.Sync = core.SyncCentralized }
+
+	// (a) Sync-interval sweep: MCN, AIM, DIMM-Link-Central, DIMM-Link-Hier.
+	sweep := stats.NewTable("Figure 14(a) — speedup over MCN vs synchronization interval (paper @500: DL-Hier 5.3x vs MCN, 2.2x vs AIM)",
+		"interval-instr", "mcn", "aim", "dl-central", "dl-hier")
+	rounds := 40
+	if o.Quick {
+		rounds = 15
+	}
+	for _, interval := range []uint64{50000, 5000, 500} {
+		sb := &workloads.SyncBench{Interval: interval, Rounds: rounds}
+		mcn := execute(sb, nmp.MechMCN, cfg, nil, nil, false).res.Makespan
+		aim := execute(sb, nmp.MechAIM, cfg, nil, nil, false).res.Makespan
+		dlc := execute(sb, nmp.MechDIMMLink, cfg, central, nil, false).res.Makespan
+		dlh := execute(sb, nmp.MechDIMMLink, cfg, nil, nil, false).res.Makespan
+		sweep.Addf(interval, 1.0, speedup(mcn, aim), speedup(mcn, dlc), speedup(mcn, dlh))
+	}
+
+	// (b) TS.Pow end-to-end across system sizes (paper: DL-Hier 1.46-1.74x
+	// over MCN).
+	s := o.sizes()
+	e2e := stats.NewTable("Figure 14(b) — TS.Pow end-to-end speedup over MCN",
+		"config", "dl-hier-vs-mcn", "dl-central-vs-mcn")
+	for _, c := range p2pConfigs() {
+		ts := workloads.NewTSPow(s.tsLen, 64, s.tsChunk, o.Seed)
+		mcn := execute(ts, nmp.MechMCN, c, nil, nil, false).res.Makespan
+		dlh := execute(ts, nmp.MechDIMMLink, c, nil, nil, false).res.Makespan
+		dlc := execute(ts, nmp.MechDIMMLink, c, central, nil, false).res.Makespan
+		e2e.Addf(c.name, speedup(mcn, dlh), speedup(mcn, dlc))
+	}
+	return []*stats.Table{sweep, e2e}
+}

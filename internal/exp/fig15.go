@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"repro/internal/host"
+	"repro/internal/nmp"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Polling strategies: end-to-end performance and memory bus occupation",
+		Run:   runFig15,
+	})
+}
+
+func runFig15(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	modes := []struct {
+		name string
+		mode host.PollingMode
+	}{
+		{"Base", host.BasePolling},
+		{"Base+Itrpt", host.BaseInterrupt},
+		{"P-P", host.ProxyPolling},
+		{"P-P+Itrpt", host.ProxyInterrupt},
+	}
+	perf := stats.NewTable("Figure 15(a) — end-to-end speedup over Base polling (DIMM-Link, 16D-8C)",
+		"workload", "Base", "Base+Itrpt", "P-P", "P-P+Itrpt")
+	occ := stats.NewTable("Figure 15(b) — memory bus occupation % (paper: Base 32%, P-P+Itrpt 0.2%)",
+		"workload", "Base", "Base+Itrpt", "P-P", "P-P+Itrpt")
+	// Two representative workloads keep the sweep affordable; Figure 15
+	// uses the same suite as Figure 10.
+	suite := p2pSuite(o.sizes(), o.Seed)
+	if o.Quick {
+		suite = suite[:3] // BFS, HS, KM
+	}
+	for _, w := range suite {
+		perfRow := []interface{}{w.Name()}
+		occRow := []interface{}{w.Name()}
+		var baseTime float64
+		for i, m := range modes {
+			mode := m.mode
+			out := execute(w, nmp.MechDIMMLink, cfg,
+				func(c *nmp.Config) { c.Host.Mode = mode }, nil, false)
+			t := float64(out.res.Makespan)
+			if i == 0 {
+				baseTime = t
+			}
+			perfRow = append(perfRow, baseTime/t)
+			occRow = append(occRow, 100*out.sys.Host().BusOccupation(out.res.Makespan))
+		}
+		perf.Addf(perfRow...)
+		occ.Addf(occRow...)
+	}
+	return []*stats.Table{perf, occ}
+}

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"repro/internal/core"
+	"repro/internal/nmp"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Topology exploration: chain (half-ring) vs ring, mesh, torus on 16D-8C",
+		Run:   runFig17,
+	})
+}
+
+func runFig17(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	topos := []core.TopologyKind{core.TopoChain, core.TopoRing, core.TopoMesh, core.TopoTorus}
+	tb := stats.NewTable("Figure 17 — P2P speedup over the chain topology (paper: ring 1.11x, mesh 1.19x, torus 1.27x)",
+		"workload", "chain", "ring", "mesh", "torus")
+	per := map[core.TopologyKind][]float64{}
+	for _, w := range p2pSuite(o.sizes(), o.Seed) {
+		row := []interface{}{w.Name()}
+		var base float64
+		for i, topo := range topos {
+			topo := topo
+			out := execute(w, nmp.MechDIMMLink, cfg,
+				func(c *nmp.Config) { c.DL.Topology = topo }, nil, false)
+			t := float64(out.res.Makespan)
+			if i == 0 {
+				base = t
+			}
+			row = append(row, base/t)
+			per[topo] = append(per[topo], base/t)
+		}
+		tb.Addf(row...)
+	}
+	sum := stats.NewTable("Figure 17 — geomean speedup over chain", "topology", "geomean")
+	for _, topo := range topos {
+		sum.Addf(string(topo), stats.GeoMean(per[topo]))
+	}
+	return []*stats.Table{tb, sum}
+}

@@ -1,0 +1,100 @@
+// Package idc defines the inter-DIMM communication (IDC) abstraction that
+// the NMP system is assembled around, plus the three baseline mechanisms
+// the paper compares against (Table I):
+//
+//   - MCN-style CPU forwarding (mcn.go) — the host CPU polls the DIMMs and
+//     copies data between channels through its cache hierarchy.
+//   - AIM's dedicated multi-drop bus (aim.go) — DIMMs communicate over one
+//     shared bus without host involvement.
+//   - ABC-DIMM's intra-channel broadcast (abc.go) — the host issues
+//     broadcast-read commands inside a channel; cross-channel traffic falls
+//     back to CPU forwarding.
+//
+// The DIMM-Link mechanism itself lives in internal/core and implements the
+// same Interconnect interface.
+package idc
+
+import (
+	"repro/internal/dram"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Interconnect is one inter-DIMM communication mechanism. All times are
+// absolute simulated times; implementations reserve the shared resources
+// they occupy (host channel buses, dedicated buses, SerDes links,
+// destination DRAM) so that concurrent traffic contends realistically.
+//
+// Implementations are not goroutine-safe; the single-threaded simulation
+// engine serializes all calls in simulated-time order.
+type Interconnect interface {
+	// Name identifies the mechanism in reports ("dimm-link", "mcn", ...).
+	Name() string
+
+	// Access performs a remote read or write of size bytes at addr, issued
+	// by a core on srcDIMM at time at. It returns the completion time as
+	// observed by the source: for reads, when the data has arrived back at
+	// srcDIMM; for writes, when the data is durable in the destination's
+	// DRAM.
+	Access(at sim.Time, srcDIMM int, addr uint64, size uint32, write bool) sim.Time
+
+	// Broadcast delivers size bytes starting at addr (resident on srcDIMM)
+	// to every other DIMM. It returns the time the last DIMM has received
+	// the data.
+	Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) sim.Time
+
+	// Barrier synchronizes the given threads: arrivals[i] is when thread i
+	// reached the barrier and threadDIMM[i] is its home DIMM (-1 for host
+	// threads). It returns the common release time.
+	Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time
+
+	// Counters exposes the mechanism's activity counters (packets, bytes on
+	// each medium, polls, forwards) for reporting and the energy model.
+	Counters() *stats.Counters
+}
+
+// Fabric bundles the shared hardware every mechanism operates on.
+type Fabric struct {
+	Eng  *sim.Engine
+	Geo  mem.Geometry
+	DRAM []*dram.Module // one per DIMM
+	Host *host.Host     // nil only for mechanisms that never touch the host
+}
+
+// AccessDRAM performs a DRAM access on the destination DIMM's module,
+// starting no earlier than at, and returns its completion time.
+func (f *Fabric) AccessDRAM(at sim.Time, dimm int, addr uint64, size uint32, write bool) sim.Time {
+	return f.DRAM[dimm].Access(at, addr, size, write)
+}
+
+// Counter names shared across mechanisms, consumed by the energy model and
+// the experiment reports.
+const (
+	CtrLinkBytes    = "link.bytes"    // bytes traversing SerDes links (per hop)
+	CtrBusBytes     = "hostbus.bytes" // bytes moved over host memory channels
+	CtrDedBusBytes  = "dedbus.bytes"  // bytes on AIM's dedicated bus
+	CtrForwards     = "host.forwards" // packets forwarded by the host CPU
+	CtrPolls        = "host.polls"    // polling register reads issued by the host
+	CtrPackets      = "packets"       // IDC packets injected
+	CtrRemoteReads  = "remote.reads"  // remote read transactions
+	CtrRemoteWrites = "remote.writes" // remote write transactions
+	CtrBroadcasts   = "broadcasts"    // broadcast transactions
+	CtrBarriers     = "barriers"      // barrier episodes
+	CtrSyncMsgs     = "sync.messages" // synchronization messages exchanged
+	CtrRetries      = "link.retries"  // DLL-layer retransmissions
+	CtrFwdedBytes   = "fwd.bytes"     // bytes that crossed the host on behalf of IDC
+)
+
+// MaxBarrier returns the latest of the arrival times (helper shared by the
+// barrier implementations).
+func MaxBarrier(arrivals []sim.Time) sim.Time {
+	var m sim.Time
+	for _, a := range arrivals {
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

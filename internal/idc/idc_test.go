@@ -1,0 +1,208 @@
+package idc
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func geoN(dimms, channels int) mem.Geometry {
+	return mem.Geometry{
+		NumDIMMs:     dimms,
+		NumChannels:  channels,
+		DIMMCapBytes: 1 << 26,
+		RanksPerDIMM: 2,
+		BanksPerRank: 16,
+		RowBytes:     8192,
+		LineBytes:    64,
+	}
+}
+
+func modules(geo mem.Geometry) []*dram.Module {
+	ms := make([]*dram.Module, geo.NumDIMMs)
+	for i := range ms {
+		ms[i] = dram.New(geo, dram.DDR4_3200(), i)
+	}
+	return ms
+}
+
+func newMCN(dimms, channels int) (*MCN, *sim.Engine) {
+	eng := sim.NewEngine()
+	geo := geoN(dimms, channels)
+	return NewMCN(eng, geo, modules(geo), host.DefaultConfig()), eng
+}
+
+func newAIM(dimms, channels int) *AIM {
+	geo := geoN(dimms, channels)
+	return NewAIM(geo, modules(geo), DefaultAIMConfig())
+}
+
+func newABC(dimms, channels int) (*ABCDIMM, *sim.Engine) {
+	eng := sim.NewEngine()
+	geo := geoN(dimms, channels)
+	return NewABCDIMM(eng, geo, modules(geo), host.DefaultConfig()), eng
+}
+
+func TestMCNReadPaysPollingAndTwoChannels(t *testing.T) {
+	m, _ := newMCN(4, 2)
+	done := m.Access(0, 0, m.geo.DIMMBase(2), 64, false)
+	// Must include at least one poll interval (100 ns).
+	if done < 100*sim.Nanosecond {
+		t.Fatalf("MCN read %d ps didn't wait for polling", done)
+	}
+	if m.Counters().Get("remote.reads") != 1 || m.host.Counters.Get("host.forwards") != 1 {
+		t.Fatalf("counters %v / %v", m.ctrs, m.host.Counters)
+	}
+	if m.host.Counters.Get("hostbus.bytes") < 128 {
+		t.Fatal("data copy should occupy the channel twice")
+	}
+}
+
+func TestMCNWriteLandsInDestinationDRAM(t *testing.T) {
+	m, _ := newMCN(4, 2)
+	m.Access(0, 3, m.geo.DIMMBase(1), 256, true)
+	if m.dram[1].Stats.Writes == 0 {
+		t.Fatal("destination DRAM not written")
+	}
+}
+
+func TestMCNLocalAccessPanics(t *testing.T) {
+	m, _ := newMCN(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Access(0, 1, m.geo.DIMMBase(1), 64, false)
+}
+
+func TestMCNBroadcastWritesEveryDIMM(t *testing.T) {
+	m, _ := newMCN(8, 4)
+	m.Broadcast(0, 0, m.geo.DIMMBase(0), 256)
+	// 7 destination writes, each a host forwarding episode.
+	if got := m.host.Counters.Get("host.forwards"); got != 7 {
+		t.Fatalf("forwards = %d, want 7", got)
+	}
+}
+
+func TestAIMReadLatency(t *testing.T) {
+	a := newAIM(4, 2)
+	done := a.Access(0, 0, a.geo.DIMMBase(2), 64, false)
+	// No polling: command + DRAM + data, well under the MCN poll interval.
+	if done > 100*sim.Nanosecond {
+		t.Fatalf("AIM read %d ps — should not involve polling", done)
+	}
+	if a.Counters().Get(CtrDedBusBytes) != 64 {
+		t.Fatalf("dedicated bus bytes %d", a.Counters().Get(CtrDedBusBytes))
+	}
+}
+
+func TestAIMBusContentionSerializes(t *testing.T) {
+	a := newAIM(8, 4)
+	// Two disjoint DIMM pairs communicate; on AIM's shared bus they
+	// serialize regardless.
+	d1 := a.Access(0, 0, a.geo.DIMMBase(1), 4096, true)
+	d2 := a.Access(0, 2, a.geo.DIMMBase(3), 4096, true)
+	if d2 <= d1 {
+		t.Fatalf("shared bus must serialize disjoint pairs: %d vs %d", d2, d1)
+	}
+	if a.BusUtilization(d2) == 0 {
+		t.Fatal("bus utilization not tracked")
+	}
+}
+
+func TestAIMBroadcastSingleTransaction(t *testing.T) {
+	a := newAIM(8, 4)
+	a.Broadcast(0, 0, a.geo.DIMMBase(0), 256)
+	if a.Counters().Get(CtrDedBusBytes) != 256 {
+		t.Fatalf("AIM broadcast should cost one bus transaction, bytes=%d",
+			a.Counters().Get(CtrDedBusBytes))
+	}
+}
+
+func TestABCP2PFallsBackToForwarding(t *testing.T) {
+	b, _ := newABC(4, 2)
+	done := b.Access(0, 0, b.geo.DIMMBase(2), 64, false)
+	if done < 100*sim.Nanosecond {
+		t.Fatalf("ABC P2P %d ps didn't pay CPU forwarding", done)
+	}
+	if b.host.Counters.Get("host.forwards") != 1 {
+		t.Fatal("ABC P2P should use CPU forwarding")
+	}
+}
+
+func TestABCBroadcastScalesWithChannelsNotDIMMs(t *testing.T) {
+	// 8 DIMMs / 4 channels: ABC needs 1 broadcast-read + 3 broadcast-writes
+	// = 4 channel transactions; MCN-BC needs 1 read + 7 writes.
+	b, _ := newABC(8, 4)
+	b.Broadcast(0, 0, b.geo.DIMMBase(0), 1024)
+	reads := b.Counters().Get("bcast.reads")
+	writes := b.Counters().Get("bcast.writes")
+	if reads != 1 || writes != 3 {
+		t.Fatalf("ABC broadcast transactions: %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestABCBroadcastFasterThanMCNBC(t *testing.T) {
+	b, _ := newABC(12, 4) // 3 DPC — ABC's sweet spot
+	bDone := b.Broadcast(0, 0, b.geo.DIMMBase(0), 4096)
+	m, _ := newMCN(12, 4)
+	mDone := m.Broadcast(0, 0, m.geo.DIMMBase(0), 4096)
+	if bDone >= mDone {
+		t.Fatalf("ABC broadcast (%d) should beat MCN-BC (%d) at 3 DPC", bDone, mDone)
+	}
+}
+
+func TestAIMBroadcastFastestMechanism(t *testing.T) {
+	// Figure 12: AIM-BC outperforms everything (ideal single-transaction
+	// broadcast over the dedicated bus).
+	a := newAIM(8, 4)
+	aDone := a.Broadcast(0, 0, a.geo.DIMMBase(0), 4096)
+	b, _ := newABC(8, 4)
+	bDone := b.Broadcast(0, 0, b.geo.DIMMBase(0), 4096)
+	if aDone >= bDone {
+		t.Fatalf("AIM-BC (%d) should beat ABC-DIMM (%d)", aDone, bDone)
+	}
+}
+
+func TestCentralizedBarrier(t *testing.T) {
+	var msgs int
+	release := CentralizedBarrier(
+		[]sim.Time{100, 900, 500}, []int{0, 1, 2}, 10, 0,
+		func(at sim.Time, src, dst int) sim.Time {
+			msgs++
+			return at + 50
+		})
+	// 2 gather messages (threads on DIMMs 1, 2) + 2 release messages;
+	// the thread on the central DIMM only pays the local cost.
+	if msgs != 4 {
+		t.Fatalf("messages = %d, want 4", msgs)
+	}
+	// Last arrival 900 -> gather message lands at 950 (global); individual
+	// release 950+50 = 1000; + intra 10 = 1010.
+	if release != 1010 {
+		t.Fatalf("release = %d, want 1010", release)
+	}
+}
+
+func TestBarrierOrderingAcrossMechanisms(t *testing.T) {
+	// AIM sync (bus messages) must beat MCN sync (polled host forwarding).
+	arr := []sim.Time{0, 0, 0, 0}
+	dimms := []int{0, 1, 2, 3}
+	a := newAIM(4, 2)
+	aR := a.Barrier(arr, dimms)
+	m, _ := newMCN(4, 2)
+	mR := m.Barrier(arr, dimms)
+	if aR >= mR {
+		t.Fatalf("AIM barrier (%d) should beat MCN barrier (%d)", aR, mR)
+	}
+}
+
+func TestMaxBarrier(t *testing.T) {
+	if MaxBarrier([]sim.Time{3, 9, 1}) != 9 || MaxBarrier(nil) != 0 {
+		t.Fatal("MaxBarrier wrong")
+	}
+}

@@ -1,0 +1,121 @@
+// Package mcmf implements a minimum-cost maximum-flow solver using
+// successive shortest augmenting paths found with SPFA (queue-based
+// Bellman-Ford), the algorithm family the paper cites for its thread-
+// placement step ("we can calculate the minimum-cost maximum-flow using
+// algorithms like Bellman-Ford... The time complexity is merely
+// O(T^2 N^2)").
+package mcmf
+
+import (
+	"fmt"
+	"math"
+)
+
+type edge struct {
+	to   int
+	cap  int64
+	cost float64
+	flow int64
+}
+
+// Graph is a flow network under construction. Vertices are 0..n-1.
+type Graph struct {
+	n     int
+	edges []edge // paired: edges[i] and edges[i^1] are a residual pair
+	adj   [][]int
+}
+
+// NewGraph creates a flow network with n vertices.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic(fmt.Sprintf("mcmf: %d vertices", n))
+	}
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// AddEdge adds a directed edge u->v with the given capacity and per-unit
+// cost, returning its ID for later Flow queries. A reverse residual edge
+// with zero capacity and negated cost is added automatically.
+func (g *Graph) AddEdge(u, v int, capacity int64, cost float64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("mcmf: edge %d->%d outside %d vertices", u, v, g.n))
+	}
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: u, cap: 0, cost: -cost})
+	g.adj[u] = append(g.adj[u], id)
+	g.adj[v] = append(g.adj[v], id+1)
+	return id
+}
+
+// Flow returns the flow currently routed through the edge with the given
+// ID (valid after Run).
+func (g *Graph) Flow(id int) int64 { return g.edges[id].flow }
+
+// Run computes the minimum-cost maximum flow from source to sink and
+// returns (maxFlow, totalCost). It repeatedly augments along the cheapest
+// residual path (SPFA); with non-negative input costs every intermediate
+// state keeps shortest-path optimality, yielding the min-cost flow.
+func (g *Graph) Run(source, sink int) (int64, float64) {
+	if source == sink {
+		panic("mcmf: source equals sink")
+	}
+	var totalFlow int64
+	var totalCost float64
+	dist := make([]float64, g.n)
+	inQueue := make([]bool, g.n)
+	prevEdge := make([]int, g.n)
+
+	for {
+		// SPFA from source on the residual graph.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevEdge[i] = -1
+		}
+		dist[source] = 0
+		queue := []int{source}
+		inQueue[source] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			for _, id := range g.adj[u] {
+				e := &g.edges[id]
+				if e.cap-e.flow <= 0 {
+					continue
+				}
+				if nd := dist[u] + e.cost; nd < dist[e.to]-1e-12 {
+					dist[e.to] = nd
+					prevEdge[e.to] = id
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[sink], 1) {
+			return totalFlow, totalCost
+		}
+		// Find the bottleneck along the path, then augment.
+		bottleneck := int64(math.MaxInt64)
+		for v := sink; v != source; {
+			e := g.edges[prevEdge[v]]
+			if r := e.cap - e.flow; r < bottleneck {
+				bottleneck = r
+			}
+			v = g.edges[prevEdge[v]^1].to
+		}
+		for v := sink; v != source; {
+			id := prevEdge[v]
+			g.edges[id].flow += bottleneck
+			g.edges[id^1].flow -= bottleneck
+			v = g.edges[id^1].to
+		}
+		totalFlow += bottleneck
+		totalCost += float64(bottleneck) * dist[sink]
+	}
+}

@@ -1,0 +1,218 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleMaxFlow(t *testing.T) {
+	// Classic 4-node network: s=0, t=3.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 3, 0)
+	g.AddEdge(0, 2, 2, 0)
+	g.AddEdge(1, 2, 1, 0)
+	g.AddEdge(1, 3, 2, 0)
+	g.AddEdge(2, 3, 3, 0)
+	flow, cost := g.Run(0, 3)
+	if flow != 5 || cost != 0 {
+		t.Fatalf("flow=%d cost=%v, want 5, 0", flow, cost)
+	}
+}
+
+func TestMinCostPrefersCheapPath(t *testing.T) {
+	// Two parallel paths; the cheap one must fill first.
+	g := NewGraph(4)
+	cheap := g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(1, 3, 1, 1)
+	exp := g.AddEdge(0, 2, 1, 10)
+	g.AddEdge(2, 3, 1, 10)
+	flow, cost := g.Run(0, 3)
+	if flow != 2 || cost != 22 {
+		t.Fatalf("flow=%d cost=%v, want 2, 22", flow, cost)
+	}
+	if g.Flow(cheap) != 1 || g.Flow(exp) != 1 {
+		t.Fatal("both paths should carry flow at max-flow")
+	}
+}
+
+func TestMinCostReroutesThroughResidual(t *testing.T) {
+	// The textbook case requiring residual (negative) edges: the first
+	// augmentation takes a path that a later augmentation must partially
+	// undo to reach optimal cost.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(0, 2, 1, 5)
+	g.AddEdge(1, 2, 1, 1)
+	g.AddEdge(1, 3, 1, 6)
+	g.AddEdge(2, 3, 2, 1)
+	flow, cost := g.Run(0, 3)
+	if flow != 3 {
+		t.Fatalf("flow=%d, want 3", flow)
+	}
+	// Optimal: 0->1 x2 (2) + 1->2 (1) + 1->3 (6) + 0->2 (5) + 2->3 x2 (2) = 16.
+	if cost != 16 {
+		t.Fatalf("cost=%v, want 16", cost)
+	}
+}
+
+func TestDisconnectedSink(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5, 1)
+	flow, cost := g.Run(0, 2)
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow=%d cost=%v on disconnected graph", flow, cost)
+	}
+}
+
+func TestAssignmentProblem(t *testing.T) {
+	// 3 workers x 3 jobs as bipartite min-cost matching.
+	costs := [3][3]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	// Optimal assignment: w0->j1 (1), w1->j0 (2), w2->j2 (2) = 5.
+	g := NewGraph(8) // 0=s, 1-3 workers, 4-6 jobs, 7=t
+	for w := 0; w < 3; w++ {
+		g.AddEdge(0, 1+w, 1, 0)
+		g.AddEdge(4+w, 7, 1, 0)
+	}
+	var ids [3][3]int
+	for w := 0; w < 3; w++ {
+		for j := 0; j < 3; j++ {
+			ids[w][j] = g.AddEdge(1+w, 4+j, 1, costs[w][j])
+		}
+	}
+	flow, cost := g.Run(0, 7)
+	if flow != 3 || cost != 5 {
+		t.Fatalf("flow=%d cost=%v, want 3, 5", flow, cost)
+	}
+	want := [3]int{1, 0, 2}
+	for w := 0; w < 3; w++ {
+		for j := 0; j < 3; j++ {
+			expect := int64(0)
+			if want[w] == j {
+				expect = 1
+			}
+			if g.Flow(ids[w][j]) != expect {
+				t.Fatalf("worker %d job %d flow %d", w, j, g.Flow(ids[w][j]))
+			}
+		}
+	}
+}
+
+// bruteForceAssignment exhaustively solves a small assignment instance with
+// per-job capacity limits, for cross-checking the solver.
+func bruteForceAssignment(costs [][]float64, jobCap int) float64 {
+	nW := len(costs)
+	nJ := len(costs[0])
+	used := make([]int, nJ)
+	best := math.Inf(1)
+	var rec func(w int, acc float64)
+	rec = func(w int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if w == nW {
+			best = acc
+			return
+		}
+		for j := 0; j < nJ; j++ {
+			if used[j] < jobCap {
+				used[j]++
+				rec(w+1, acc+costs[w][j])
+				used[j]--
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestRandomAssignmentsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		nW := 2 + rng.Intn(4) // 2..5 workers
+		nJ := 2 + rng.Intn(3) // 2..4 jobs
+		jobCap := 1 + rng.Intn(3)
+		if nW > nJ*jobCap {
+			continue
+		}
+		costs := make([][]float64, nW)
+		for w := range costs {
+			costs[w] = make([]float64, nJ)
+			for j := range costs[w] {
+				costs[w][j] = float64(rng.Intn(20))
+			}
+		}
+		g := NewGraph(2 + nW + nJ)
+		s, snk := 0, 1+nW+nJ
+		for w := 0; w < nW; w++ {
+			g.AddEdge(s, 1+w, 1, 0)
+		}
+		for j := 0; j < nJ; j++ {
+			g.AddEdge(1+nW+j, snk, int64(jobCap), 0)
+		}
+		for w := 0; w < nW; w++ {
+			for j := 0; j < nJ; j++ {
+				g.AddEdge(1+w, 1+nW+j, 1, costs[w][j])
+			}
+		}
+		flow, cost := g.Run(s, snk)
+		if flow != int64(nW) {
+			t.Fatalf("trial %d: flow %d, want %d", trial, flow, nW)
+		}
+		if want := bruteForceAssignment(costs, jobCap); math.Abs(cost-want) > 1e-9 {
+			t.Fatalf("trial %d: cost %v, brute force %v", trial, cost, want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(0, 5, 1, 0) },
+		func() { g.AddEdge(0, 1, -1, 0) },
+		func() { g.Run(0, 0) },
+		func() { NewGraph(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkAssignment64x16(b *testing.B) {
+	// The paper's reference point: 64 threads onto 16 DIMMs.
+	rng := rand.New(rand.NewSource(1))
+	costs := make([][]float64, 64)
+	for i := range costs {
+		costs[i] = make([]float64, 16)
+		for j := range costs[i] {
+			costs[i][j] = rng.Float64() * 100
+		}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		g := NewGraph(2 + 64 + 16)
+		s, snk := 0, 81
+		for w := 0; w < 64; w++ {
+			g.AddEdge(s, 1+w, 1, 0)
+		}
+		for j := 0; j < 16; j++ {
+			g.AddEdge(65+j, snk, 4, 0)
+		}
+		for w := 0; w < 64; w++ {
+			for j := 0; j < 16; j++ {
+				g.AddEdge(1+w, 65+j, 1, costs[w][j])
+			}
+		}
+		g.Run(s, snk)
+	}
+}

@@ -1,0 +1,337 @@
+// Package mem models the physical address space of a DIMM-NMP system.
+//
+// Following the paper (Section III-E), NMP data is managed with simple
+// memory segmentation, no paging: workloads allocate named segments and
+// compute physical addresses directly from segment bases. Each DIMM owns a
+// contiguous power-of-two slice of the physical address space, so the DIMM
+// ID is a simple shift of the address — exactly the property the DL packet
+// format exploits when it stores only the 37 intra-DIMM address bits in the
+// ADDR field.
+//
+// The package is purely about addresses and attributes; actual data values
+// live in the workloads' own Go data structures (functional-first
+// simulation, see DESIGN.md §3).
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Attr describes the sharing class of a segment, which drives the
+// software-assisted cache coherence of Section III-E: thread-private and
+// shared read-only data may be cached by NMP cores; shared read-write data
+// is uncacheable.
+type Attr int
+
+const (
+	// Private data is owned by one thread and freely cacheable.
+	Private Attr = iota
+	// SharedRO data is read-only during kernel execution and cacheable.
+	SharedRO
+	// SharedRW data is written by multiple threads and uncacheable.
+	SharedRW
+)
+
+func (a Attr) String() string {
+	switch a {
+	case Private:
+		return "private"
+	case SharedRO:
+		return "shared-ro"
+	case SharedRW:
+		return "shared-rw"
+	default:
+		return fmt.Sprintf("Attr(%d)", int(a))
+	}
+}
+
+// Cacheable reports whether data with this attribute may live in NMP caches.
+func (a Attr) Cacheable() bool { return a != SharedRW }
+
+// Geometry describes the fixed shape of the memory system.
+type Geometry struct {
+	NumDIMMs     int    // total DIMMs in the system
+	NumChannels  int    // host memory channels
+	DIMMCapBytes uint64 // capacity per DIMM; must be a power of two
+	RanksPerDIMM int
+	BanksPerRank int
+	RowBytes     uint64 // DRAM row (page) size in bytes; power of two
+	LineBytes    uint64 // transaction granularity (cache line); power of two
+}
+
+// Validate checks internal consistency.
+func (g Geometry) Validate() error {
+	switch {
+	case g.NumDIMMs <= 0:
+		return fmt.Errorf("mem: NumDIMMs %d <= 0", g.NumDIMMs)
+	case g.NumChannels <= 0 || g.NumDIMMs%g.NumChannels != 0:
+		return fmt.Errorf("mem: NumChannels %d must divide NumDIMMs %d", g.NumChannels, g.NumDIMMs)
+	case g.DIMMCapBytes == 0 || g.DIMMCapBytes&(g.DIMMCapBytes-1) != 0:
+		return fmt.Errorf("mem: DIMMCapBytes %d not a power of two", g.DIMMCapBytes)
+	case g.RanksPerDIMM <= 0 || g.BanksPerRank <= 0:
+		return fmt.Errorf("mem: ranks/banks must be positive")
+	case g.RowBytes == 0 || g.RowBytes&(g.RowBytes-1) != 0:
+		return fmt.Errorf("mem: RowBytes %d not a power of two", g.RowBytes)
+	case g.LineBytes == 0 || g.LineBytes&(g.LineBytes-1) != 0:
+		return fmt.Errorf("mem: LineBytes %d not a power of two", g.LineBytes)
+	case g.LineBytes > g.RowBytes:
+		return fmt.Errorf("mem: line %d larger than row %d", g.LineBytes, g.RowBytes)
+	}
+	return nil
+}
+
+// DIMMsPerChannel returns the DPC count.
+func (g Geometry) DIMMsPerChannel() int { return g.NumDIMMs / g.NumChannels }
+
+// DIMMOf returns the DIMM owning addr.
+func (g Geometry) DIMMOf(addr uint64) int {
+	d := int(addr >> uint(bits.TrailingZeros64(g.DIMMCapBytes)))
+	if d >= g.NumDIMMs {
+		panic(fmt.Sprintf("mem: address %#x beyond DIMM %d capacity", addr, g.NumDIMMs))
+	}
+	return d
+}
+
+// ChannelOfDIMM returns the host memory channel the DIMM sits on. DIMMs are
+// laid out channel-major: channel c holds DIMMs [c*DPC, (c+1)*DPC).
+func (g Geometry) ChannelOfDIMM(dimm int) int { return dimm / g.DIMMsPerChannel() }
+
+// ChannelOf returns the channel owning addr.
+func (g Geometry) ChannelOf(addr uint64) int { return g.ChannelOfDIMM(g.DIMMOf(addr)) }
+
+// DIMMBase returns the first physical address of the given DIMM.
+func (g Geometry) DIMMBase(dimm int) uint64 {
+	return uint64(dimm) * g.DIMMCapBytes
+}
+
+// TotalBytes returns total system capacity.
+func (g Geometry) TotalBytes() uint64 { return uint64(g.NumDIMMs) * g.DIMMCapBytes }
+
+// Location is a fully decoded DRAM coordinate.
+type Location struct {
+	DIMM    int
+	Channel int
+	Rank    int
+	Bank    int
+	Row     uint64
+	Col     uint64 // byte offset within the row, line-aligned
+}
+
+// Decode maps addr to its DRAM coordinate. The intra-DIMM layout is
+// row-major with banks interleaved at row granularity below ranks:
+//
+//	addr(in DIMM) = ((row * ranks + rank) * banks + bank) * rowBytes + col
+//
+// so that a sequential stream sweeps a full row before switching banks
+// (maximizing row-buffer hits), and adjacent rows land in different banks.
+func (g Geometry) Decode(addr uint64) Location {
+	dimm := g.DIMMOf(addr)
+	off := addr - g.DIMMBase(dimm)
+	col := off & (g.RowBytes - 1)
+	rowIdx := off / g.RowBytes
+	bank := int(rowIdx % uint64(g.BanksPerRank))
+	rowIdx /= uint64(g.BanksPerRank)
+	rank := int(rowIdx % uint64(g.RanksPerDIMM))
+	row := rowIdx / uint64(g.RanksPerDIMM)
+	return Location{
+		DIMM:    dimm,
+		Channel: g.ChannelOfDIMM(dimm),
+		Rank:    rank,
+		Bank:    bank,
+		Row:     row,
+		Col:     col &^ (g.LineBytes - 1),
+	}
+}
+
+// LineAddr returns addr rounded down to its cache line.
+func (g Geometry) LineAddr(addr uint64) uint64 { return addr &^ (g.LineBytes - 1) }
+
+// rangeAttr is one allocated address range, used for attribute lookup.
+type rangeAttr struct {
+	start, end uint64 // [start, end)
+	seg        *Segment
+}
+
+// Space is the segment allocator over a Geometry. It hands out physical
+// address ranges with explicit placement and tracks sharing attributes.
+type Space struct {
+	Geo      Geometry
+	next     []uint64 // per-DIMM bump pointer (offset within the DIMM)
+	ranges   []rangeAttr
+	segments []*Segment
+}
+
+// NewSpace creates an empty address space over g.
+func NewSpace(g Geometry) (*Space, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Space{Geo: g, next: make([]uint64, g.NumDIMMs)}, nil
+}
+
+// MustNewSpace is NewSpace that panics on error, for tests and examples.
+func MustNewSpace(g Geometry) *Space {
+	s, err := NewSpace(g)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Segment is a named allocation. Depending on placement it is either
+// contiguous on one DIMM or striped across all DIMMs at chunk granularity.
+// Addr translates a logical offset within the segment into a physical
+// address.
+type Segment struct {
+	Name  string
+	Size  uint64
+	Attr  Attr
+	space *Space
+
+	// Placement: either home >= 0 (single DIMM, base bases[0]), or striped
+	// with chunk size stripe and one base per DIMM.
+	home   int
+	stripe uint64
+	bases  []uint64
+}
+
+const allocAlign = 64
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+func (s *Space) allocRaw(dimm int, size uint64) (uint64, error) {
+	size = alignUp(size, allocAlign)
+	off := s.next[dimm]
+	if off+size > s.Geo.DIMMCapBytes {
+		return 0, fmt.Errorf("mem: DIMM %d out of capacity (%d + %d > %d)", dimm, off, size, s.Geo.DIMMCapBytes)
+	}
+	s.next[dimm] = off + size
+	return s.Geo.DIMMBase(dimm) + off, nil
+}
+
+// AllocOn allocates size bytes contiguously on a single DIMM.
+func (s *Space) AllocOn(name string, size uint64, dimm int, attr Attr) (*Segment, error) {
+	if dimm < 0 || dimm >= s.Geo.NumDIMMs {
+		return nil, fmt.Errorf("mem: DIMM %d out of range", dimm)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("mem: zero-size segment %q", name)
+	}
+	base, err := s.allocRaw(dimm, size)
+	if err != nil {
+		return nil, err
+	}
+	seg := &Segment{Name: name, Size: size, Attr: attr, space: s, home: dimm, bases: []uint64{base}}
+	s.register(seg, base, base+alignUp(size, allocAlign))
+	return seg, nil
+}
+
+// AllocStriped allocates size bytes striped across all DIMMs in chunks of
+// stripe bytes (round-robin). This is how partitioned workload data is laid
+// out so that DIMM i's threads mostly touch DIMM i's chunks.
+func (s *Space) AllocStriped(name string, size uint64, stripe uint64, attr Attr) (*Segment, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("mem: zero-size segment %q", name)
+	}
+	if stripe == 0 || stripe%allocAlign != 0 {
+		return nil, fmt.Errorf("mem: stripe %d must be a positive multiple of %d", stripe, allocAlign)
+	}
+	n := uint64(s.Geo.NumDIMMs)
+	chunks := (size + stripe - 1) / stripe
+	perDIMM := (chunks + n - 1) / n * stripe
+	seg := &Segment{Name: name, Size: size, Attr: attr, space: s, home: -1, stripe: stripe, bases: make([]uint64, n)}
+	for d := 0; d < int(n); d++ {
+		base, err := s.allocRaw(d, perDIMM)
+		if err != nil {
+			return nil, err
+		}
+		seg.bases[d] = base
+		s.register(seg, base, base+perDIMM)
+	}
+	return seg, nil
+}
+
+// MustAllocOn panics on allocation failure.
+func (s *Space) MustAllocOn(name string, size uint64, dimm int, attr Attr) *Segment {
+	seg, err := s.AllocOn(name, size, dimm, attr)
+	if err != nil {
+		panic(err)
+	}
+	return seg
+}
+
+// MustAllocStriped panics on allocation failure.
+func (s *Space) MustAllocStriped(name string, size uint64, stripe uint64, attr Attr) *Segment {
+	seg, err := s.AllocStriped(name, size, stripe, attr)
+	if err != nil {
+		panic(err)
+	}
+	return seg
+}
+
+func (s *Space) register(seg *Segment, start, end uint64) {
+	s.ranges = append(s.ranges, rangeAttr{start: start, end: end, seg: seg})
+	sort.Slice(s.ranges, func(i, j int) bool { return s.ranges[i].start < s.ranges[j].start })
+	if seg.space == s {
+		found := false
+		for _, existing := range s.segments {
+			if existing == seg {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.segments = append(s.segments, seg)
+		}
+	}
+}
+
+// SegmentOf returns the segment containing addr, or nil.
+func (s *Space) SegmentOf(addr uint64) *Segment {
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].end > addr })
+	if i < len(s.ranges) && s.ranges[i].start <= addr {
+		return s.ranges[i].seg
+	}
+	return nil
+}
+
+// AttrOf returns the sharing attribute of addr. Unallocated addresses are
+// treated as Private (they are only ever touched by infrastructure code).
+func (s *Space) AttrOf(addr uint64) Attr {
+	if seg := s.SegmentOf(addr); seg != nil {
+		return seg.Attr
+	}
+	return Private
+}
+
+// Segments returns all allocated segments in allocation order.
+func (s *Space) Segments() []*Segment { return s.segments }
+
+// UsedOn returns the bytes allocated so far on the given DIMM.
+func (s *Space) UsedOn(dimm int) uint64 { return s.next[dimm] }
+
+// Addr translates a logical offset within the segment to a physical
+// address. Offsets at or beyond the segment size panic.
+func (sg *Segment) Addr(off uint64) uint64 {
+	if off >= sg.Size {
+		panic(fmt.Sprintf("mem: offset %d beyond segment %q size %d", off, sg.Name, sg.Size))
+	}
+	if sg.home >= 0 {
+		return sg.bases[0] + off
+	}
+	chunk := off / sg.stripe
+	n := uint64(len(sg.bases))
+	dimm := chunk % n
+	idx := chunk / n
+	return sg.bases[dimm] + idx*sg.stripe + off%sg.stripe
+}
+
+// HomeDIMM returns the DIMM of a single-DIMM segment, or -1 for striped.
+func (sg *Segment) HomeDIMM() int { return sg.home }
+
+// DIMMOfOffset returns the DIMM holding the given logical offset.
+func (sg *Segment) DIMMOfOffset(off uint64) int {
+	return sg.space.Geo.DIMMOf(sg.Addr(off))
+}

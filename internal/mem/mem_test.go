@@ -1,0 +1,214 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeo() Geometry {
+	return Geometry{
+		NumDIMMs:     4,
+		NumChannels:  2,
+		DIMMCapBytes: 1 << 26, // 64 MiB per DIMM keeps tests small
+		RanksPerDIMM: 2,
+		BanksPerRank: 16,
+		RowBytes:     8192,
+		LineBytes:    64,
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	g := testGeo()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := g
+	bad.DIMMCapBytes = 3 << 20
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two capacity accepted")
+	}
+	bad = g
+	bad.NumChannels = 3
+	if bad.Validate() == nil {
+		t.Error("channels not dividing DIMMs accepted")
+	}
+	bad = g
+	bad.LineBytes = 16384
+	if bad.Validate() == nil {
+		t.Error("line > row accepted")
+	}
+}
+
+func TestDIMMAndChannelMapping(t *testing.T) {
+	g := testGeo()
+	for d := 0; d < g.NumDIMMs; d++ {
+		base := g.DIMMBase(d)
+		if got := g.DIMMOf(base); got != d {
+			t.Errorf("DIMMOf(base of %d) = %d", d, got)
+		}
+		if got := g.DIMMOf(base + g.DIMMCapBytes - 1); got != d {
+			t.Errorf("DIMMOf(last byte of %d) = %d", d, got)
+		}
+	}
+	// 4 DIMMs, 2 channels -> DIMMs 0,1 on channel 0; 2,3 on channel 1.
+	wantCh := []int{0, 0, 1, 1}
+	for d, want := range wantCh {
+		if got := g.ChannelOfDIMM(d); got != want {
+			t.Errorf("ChannelOfDIMM(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestDecodeRoundTripProperties(t *testing.T) {
+	g := testGeo()
+	f := func(raw uint64) bool {
+		addr := raw % g.TotalBytes()
+		loc := g.Decode(addr)
+		if loc.DIMM != g.DIMMOf(addr) || loc.Channel != g.ChannelOfDIMM(loc.DIMM) {
+			return false
+		}
+		if loc.Rank < 0 || loc.Rank >= g.RanksPerDIMM {
+			return false
+		}
+		if loc.Bank < 0 || loc.Bank >= g.BanksPerRank {
+			return false
+		}
+		if loc.Col >= g.RowBytes || loc.Col%g.LineBytes != 0 {
+			return false
+		}
+		// Reconstruct the address from the coordinate.
+		rowIdx := (loc.Row*uint64(g.RanksPerDIMM)+uint64(loc.Rank))*uint64(g.BanksPerRank) + uint64(loc.Bank)
+		rebuilt := g.DIMMBase(loc.DIMM) + rowIdx*g.RowBytes + loc.Col
+		return rebuilt == g.LineAddr(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSequentialIsRowFriendly(t *testing.T) {
+	g := testGeo()
+	// A sequential sweep within one row must keep the same (rank,bank,row).
+	first := g.Decode(0)
+	for off := uint64(0); off < g.RowBytes; off += g.LineBytes {
+		loc := g.Decode(off)
+		if loc.Rank != first.Rank || loc.Bank != first.Bank || loc.Row != first.Row {
+			t.Fatalf("offset %d left the row: %+v vs %+v", off, loc, first)
+		}
+	}
+	// The next row must land in a different bank (bank interleaving).
+	next := g.Decode(g.RowBytes)
+	if next.Bank == first.Bank && next.Rank == first.Rank {
+		t.Fatalf("adjacent rows share a bank: %+v", next)
+	}
+}
+
+func TestAllocOn(t *testing.T) {
+	s := MustNewSpace(testGeo())
+	seg, err := s.AllocOn("a", 1000, 2, SharedRO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.HomeDIMM() != 2 {
+		t.Fatalf("HomeDIMM = %d", seg.HomeDIMM())
+	}
+	for off := uint64(0); off < 1000; off += 100 {
+		if d := s.Geo.DIMMOf(seg.Addr(off)); d != 2 {
+			t.Fatalf("offset %d on DIMM %d, want 2", off, d)
+		}
+	}
+	if s.AttrOf(seg.Addr(500)) != SharedRO {
+		t.Fatal("attr lookup failed")
+	}
+	// Allocations are 64-byte aligned and bump the arena.
+	if s.UsedOn(2) != 1024 {
+		t.Fatalf("UsedOn(2) = %d, want 1024", s.UsedOn(2))
+	}
+	// A second allocation must not overlap the first.
+	seg2 := s.MustAllocOn("b", 64, 2, Private)
+	if seg2.Addr(0) < seg.Addr(0)+1000 {
+		t.Fatal("segments overlap")
+	}
+}
+
+func TestAllocStriped(t *testing.T) {
+	s := MustNewSpace(testGeo())
+	const stripe = 256
+	seg, err := s.AllocStriped("v", 4096, stripe, SharedRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk k must live on DIMM k % 4.
+	for off := uint64(0); off < 4096; off += 64 {
+		wantDIMM := int(off / stripe % 4)
+		if d := seg.DIMMOfOffset(off); d != wantDIMM {
+			t.Fatalf("offset %d on DIMM %d, want %d", off, d, wantDIMM)
+		}
+	}
+	if s.AttrOf(seg.Addr(0)) != SharedRW {
+		t.Fatal("striped attr lookup failed")
+	}
+}
+
+func TestStripedAddrInjective(t *testing.T) {
+	s := MustNewSpace(testGeo())
+	seg := s.MustAllocStriped("v", 64*64, 64, Private)
+	seen := map[uint64]uint64{}
+	for off := uint64(0); off < seg.Size; off += 8 {
+		a := seg.Addr(off)
+		if prev, dup := seen[a]; dup {
+			t.Fatalf("offsets %d and %d map to same address %#x", prev, off, a)
+		}
+		seen[a] = off
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	s := MustNewSpace(testGeo())
+	a := s.MustAllocOn("a", 128, 0, Private)
+	b := s.MustAllocOn("b", 128, 1, SharedRW)
+	if got := s.SegmentOf(a.Addr(5)); got != a {
+		t.Fatalf("SegmentOf(a) = %v", got)
+	}
+	if got := s.SegmentOf(b.Addr(127)); got != b {
+		t.Fatalf("SegmentOf(b) = %v", got)
+	}
+	if got := s.SegmentOf(s.Geo.DIMMBase(3) + 12345); got != nil {
+		t.Fatalf("SegmentOf(unallocated) = %v", got)
+	}
+	if s.AttrOf(s.Geo.DIMMBase(3)+12345) != Private {
+		t.Fatal("unallocated attr should be Private")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	g := testGeo()
+	g.DIMMCapBytes = 1 << 12 // 4 KiB
+	s := MustNewSpace(g)
+	if _, err := s.AllocOn("big", 1<<13, 0, Private); err == nil {
+		t.Fatal("over-capacity allocation accepted")
+	}
+	if _, err := s.AllocStriped("big", 1<<20, 64, Private); err == nil {
+		t.Fatal("over-capacity striped allocation accepted")
+	}
+}
+
+func TestAddrOutOfRangePanics(t *testing.T) {
+	s := MustNewSpace(testGeo())
+	seg := s.MustAllocOn("a", 100, 0, Private)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Addr did not panic")
+		}
+	}()
+	seg.Addr(100)
+}
+
+func TestAttrCacheable(t *testing.T) {
+	if !Private.Cacheable() || !SharedRO.Cacheable() || SharedRW.Cacheable() {
+		t.Fatal("cacheability rules wrong")
+	}
+	if Private.String() != "private" || SharedRW.String() != "shared-rw" {
+		t.Fatal("Attr.String wrong")
+	}
+}

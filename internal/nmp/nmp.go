@@ -1,0 +1,322 @@
+// Package nmp assembles complete simulated systems: DIMM-NMP systems with a
+// selectable inter-DIMM communication mechanism (DIMM-Link or one of the
+// baselines), and the 16-core host-CPU baseline the paper normalizes
+// against.
+//
+// The paper's target architecture (Section II-A) is the centralized-buffer
+// DIMM-NMP with a coarse-grained execution flow: during kernel execution
+// the DIMMs are in NMP-Access mode, the per-DIMM local memory controllers
+// own the DRAM, and the host only touches buffer SRAM for polling and
+// packet forwarding. Each DIMM carries four general-purpose NMP cores with
+// private L1s and a shared 128 KB L2 (Table V).
+package nmp
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cores"
+	"repro/internal/dram"
+	"repro/internal/host"
+	"repro/internal/idc"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Mechanism selects the IDC mechanism of an NMP system, or the host-CPU
+// baseline.
+type Mechanism string
+
+// The compared systems of the evaluation.
+const (
+	MechDIMMLink Mechanism = "dimm-link"
+	MechMCN      Mechanism = "mcn"
+	MechAIM      Mechanism = "aim"
+	MechABCDIMM  Mechanism = "abc-dimm"
+	MechHostCPU  Mechanism = "host-cpu"
+)
+
+// Config describes a full system.
+type Config struct {
+	Geo  mem.Geometry
+	DRAM dram.Timing
+	Mech Mechanism
+
+	// NMP side.
+	NMPCore      cores.Config
+	CoresPerDIMM int
+	L1           cache.Config
+	L2           cache.Config // shared per DIMM
+	MCLatency    sim.Time     // local memory controller overhead per access
+
+	// Host side (polling/forwarding for NMP systems; the compute cores of
+	// the host baseline).
+	Host           host.Config
+	HostCores      int
+	HostCore       cores.Config
+	HostL1         cache.Config
+	HostLLC        cache.Config // shared
+	HostBarrierLat sim.Time
+
+	// Mechanism-specific knobs.
+	DL  core.Config
+	AIM idc.AIMConfig
+}
+
+// DefaultConfig returns the Table V system for the given DIMM/channel
+// count: 4x 2.5 GHz NMP cores per DIMM with 32 KB L1s and a shared 128 KB
+// L2, DDR4-3200 LR-DIMMs with 2 ranks, a 16-core 2.4 GHz OoO host (the
+// paper's testbed CPUs are Xeon 4210R @ 2.4 GHz) with 8 MB LLC, GRS
+// DIMM-Link, and the polling-proxy strategy.
+func DefaultConfig(dimms, channels int, mech Mechanism) Config {
+	geo := mem.Geometry{
+		NumDIMMs:     dimms,
+		NumChannels:  channels,
+		DIMMCapBytes: 1 << 28, // 256 MiB simulated footprint per DIMM
+		RanksPerDIMM: 2,
+		BanksPerRank: 16,
+		RowBytes:     8192,
+		LineBytes:    64,
+	}
+	hostCfg := host.DefaultConfig()
+	if mech == MechDIMMLink {
+		hostCfg.Mode = host.ProxyPolling
+	}
+	return Config{
+		Geo:            geo,
+		DRAM:           dram.DDR4_3200(),
+		Mech:           mech,
+		NMPCore:        cores.Config{ClockHz: 2.5e9, Window: 8, IssueCycles: 1},
+		CoresPerDIMM:   4,
+		L1:             cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 1200},
+		L2:             cache.Config{SizeBytes: 128 << 10, LineBytes: 64, Ways: 8, HitLatency: 4 * sim.Nanosecond},
+		MCLatency:      10 * sim.Nanosecond,
+		Host:           hostCfg,
+		HostCores:      16,
+		HostCore:       cores.Config{ClockHz: 2.4e9, Window: 16, IssueCycles: 1},
+		HostL1:         cache.Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitLatency: 1200},
+		HostLLC:        cache.Config{SizeBytes: 8 << 20, LineBytes: 64, Ways: 16, HitLatency: 12 * sim.Nanosecond},
+		HostBarrierLat: 100 * sim.Nanosecond,
+		DL:             core.DefaultConfig(core.GroupsFor(dimms)),
+		AIM:            idc.DefaultAIMConfig(),
+	}
+}
+
+// System is one assembled simulation instance. Create a fresh System per
+// experiment run; state (DRAM rows, caches, counters) is not resettable.
+type System struct {
+	Cfg     Config
+	Eng     *sim.Engine
+	Space   *mem.Space
+	Modules []*dram.Module
+
+	// IC is the IDC mechanism; nil for the host baseline.
+	IC        idc.Interconnect
+	Link      *core.Link // non-nil only for MechDIMMLink
+	hostModel *host.Host
+
+	memory cores.Memory
+	nmpMem *nmpMemory // base memory for the end-of-kernel cache flush
+	Ctrs   stats.Counters
+}
+
+// NewSystem builds a system from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.NMPCore.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	space := mem.MustNewSpace(cfg.Geo)
+	modules := make([]*dram.Module, cfg.Geo.NumDIMMs)
+	for i := range modules {
+		modules[i] = dram.New(cfg.Geo, cfg.DRAM, i)
+	}
+	s := &System{Cfg: cfg, Eng: eng, Space: space, Modules: modules}
+
+	switch cfg.Mech {
+	case MechDIMMLink:
+		l := core.NewLink(eng, cfg.Geo, modules, cfg.Host, cfg.DL)
+		s.IC, s.Link, s.hostModel = l, l, l.Host()
+	case MechMCN:
+		m := idc.NewMCN(eng, cfg.Geo, modules, cfg.Host)
+		s.IC, s.hostModel = m, m.Host()
+	case MechAIM:
+		s.IC = idc.NewAIM(cfg.Geo, modules, cfg.AIM)
+	case MechABCDIMM:
+		b := idc.NewABCDIMM(eng, cfg.Geo, modules, cfg.Host)
+		s.IC, s.hostModel = b, b.Host()
+	case MechHostCPU:
+		// The host baseline needs the channel buses but no polling loop.
+		hc := cfg.Host
+		hc.Mode = host.ProxyInterrupt // interrupt modes have no background polls
+		s.hostModel = host.New(eng, cfg.Geo, hc, nil)
+	default:
+		return nil, fmt.Errorf("nmp: unknown mechanism %q", cfg.Mech)
+	}
+
+	if cfg.Mech == MechHostCPU {
+		s.memory = newHostMemory(s)
+	} else {
+		s.nmpMem = newNMPMemory(s)
+		s.memory = s.nmpMem
+	}
+	return s, nil
+}
+
+// MustNewSystem panics on configuration errors.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Host returns the host model (nil for AIM, which never touches the host).
+func (s *System) Host() *host.Host { return s.hostModel }
+
+// Memory returns the cores.Memory the system's threads run against.
+func (s *System) Memory() cores.Memory { return s.memory }
+
+// InstrumentMemory interposes wrap(current) in front of the memory system
+// — e.g. a trace.Recorder. The end-of-kernel cache flush still operates on
+// the underlying memory.
+func (s *System) InstrumentMemory(wrap func(cores.Memory) cores.Memory) {
+	s.memory = wrap(s.memory)
+}
+
+// NewGroup creates a thread group bound to this system's memory. NMP
+// systems use the NMP core model; the host baseline uses the host core
+// model.
+func (s *System) NewGroup() *cores.Group {
+	coreCfg := s.Cfg.NMPCore
+	if s.Cfg.Mech == MechHostCPU {
+		coreCfg = s.Cfg.HostCore
+	}
+	return cores.NewGroup(s.Eng, coreCfg, s.memory)
+}
+
+// Threads returns how many worker threads this system runs: one per NMP
+// core, or HostCores on the baseline.
+func (s *System) Threads() int {
+	if s.Cfg.Mech == MechHostCPU {
+		return s.Cfg.HostCores
+	}
+	return s.Cfg.Geo.NumDIMMs * s.Cfg.CoresPerDIMM
+}
+
+// DefaultPlacement maps thread i to DIMM i*N/T: threads fill the DIMMs in
+// blocks, colocated with the per-thread partitions workloads allocate the
+// same way. The host baseline places every thread on "DIMM" -1.
+func (s *System) DefaultPlacement() []int {
+	t := s.Threads()
+	place := make([]int, t)
+	if s.Cfg.Mech == MechHostCPU {
+		for i := range place {
+			place[i] = -1
+		}
+		return place
+	}
+	for i := range place {
+		place[i] = i * s.Cfg.Geo.NumDIMMs / t
+	}
+	return place
+}
+
+// ShuffledPlacement maps threads to DIMMs by a seeded pseudo-random
+// permutation of the core slots — a fully data-oblivious scheduler ("we
+// first randomly place T threads to N DIMMs"). The host baseline is
+// unaffected (all -1).
+func (s *System) ShuffledPlacement(seed int64) []int {
+	place := s.DefaultPlacement()
+	if s.Cfg.Mech == MechHostCPU {
+		return place
+	}
+	rng := newSplitMix(uint64(seed))
+	for i := len(place) - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		place[i], place[j] = place[j], place[i]
+	}
+	return place
+}
+
+// GroupShuffledPlacement permutes thread placement *within* each DL group:
+// the scheduler is NUMA-domain-aware (it keeps a thread on the correct side
+// of the socket, where its partition lives) but not link-hop-aware — the
+// realistic starting point that distance-aware task mapping (Section IV-B)
+// improves on. Mechanisms with a uniform medium (MCN, AIM, ABC-DIMM) are
+// insensitive to this shuffle; DIMM-Link pays extra hops until the task
+// mapper recovers the alignment.
+func (s *System) GroupShuffledPlacement(seed int64) []int {
+	place := s.DefaultPlacement()
+	if s.Cfg.Mech == MechHostCPU {
+		return place
+	}
+	groups := core.GroupsFor(s.Cfg.Geo.NumDIMMs)
+	if s.Cfg.Mech == MechDIMMLink && s.Cfg.DL.NumGroups > 0 {
+		groups = s.Cfg.DL.NumGroups
+	}
+	perGroup := len(place) / groups
+	rng := newSplitMix(uint64(seed))
+	for g := 0; g < groups; g++ {
+		lo := g * perGroup
+		hi := lo + perGroup
+		if g == groups-1 {
+			hi = len(place)
+		}
+		for i := hi - 1; i > lo; i-- {
+			j := lo + int(rng.next()%uint64(i-lo+1))
+			place[i], place[j] = place[j], place[i]
+		}
+	}
+	return place
+}
+
+// splitMix is a tiny deterministic PRNG, independent of math/rand so that
+// placement shuffles never perturb workload generation streams.
+type splitMix struct{ x uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{x: seed + 0x9e3779b97f4a7c15} }
+
+func (s *splitMix) next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PartitionDIMM returns the DIMM that thread i's data partition should live
+// on under the default (aligned) layout, regardless of where the thread
+// itself currently runs. For the host baseline data is striped; -1 selects
+// round-robin placement by the caller.
+func (s *System) PartitionDIMM(i int) int {
+	if s.Cfg.Mech == MechHostCPU {
+		return i % s.Cfg.Geo.NumDIMMs
+	}
+	return i * s.Cfg.Geo.NumDIMMs / s.Threads()
+}
+
+// Stop halts background activity (host polling). Call after the kernel
+// completes, before reading utilization stats.
+func (s *System) Stop() {
+	if s.Link != nil {
+		s.Link.Stop()
+	} else if s.hostModel != nil {
+		s.hostModel.Stop()
+	}
+}
+
+// coreDIMM maps a global core ID to its DIMM for NMP systems: core c sits
+// on DIMM c / CoresPerDIMM.
+func (s *System) coreDIMM(coreID int) int { return coreID / s.Cfg.CoresPerDIMM }
+
+// CoreID returns the global core ID of the ith core on a DIMM.
+func (s *System) CoreID(dimm, localCore int) int {
+	return dimm*s.Cfg.CoresPerDIMM + localCore
+}

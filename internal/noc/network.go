@@ -1,0 +1,221 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// LinkConfig describes the physical links of the network. The defaults the
+// paper uses are GRS SerDes at 25 GB/s per bidirectional link (Table II).
+type LinkConfig struct {
+	BytesPerSec   float64  // per-direction link bandwidth
+	WireLatency   sim.Time // propagation delay per hop
+	RouterLatency sim.Time // router pipeline per hop
+	FlitBytes     int      // flit size (the DL protocol uses 128-bit flits)
+	Credits       int      // flit buffer depth per link (flow control window)
+}
+
+// GRSLink returns the paper's default link configuration: 25 GB/s GRS,
+// 128-bit flits, a short PCB trace and a 2-cycle router at 2.5 GHz.
+func GRSLink() LinkConfig {
+	return LinkConfig{
+		BytesPerSec:   25e9,
+		WireLatency:   1 * sim.Nanosecond,
+		RouterLatency: 800, // 2 cycles at 2.5 GHz
+		FlitBytes:     16,
+		Credits:       64,
+	}
+}
+
+// Validate checks the configuration.
+func (c LinkConfig) Validate() error {
+	if c.BytesPerSec <= 0 {
+		return fmt.Errorf("noc: non-positive link bandwidth")
+	}
+	if c.FlitBytes <= 0 {
+		return fmt.Errorf("noc: non-positive flit size")
+	}
+	if c.Credits <= 0 {
+		return fmt.Errorf("noc: non-positive credit count")
+	}
+	return nil
+}
+
+// link is one unidirectional channel between adjacent nodes.
+type link struct {
+	bus     sim.BusyLine
+	credits []sim.Time // ring buffer: when each credit returns
+	crIdx   int
+	bytes   uint64
+	packets uint64
+}
+
+// creditReady returns the earliest time a new packet may start injecting
+// into the link, honoring the flow-control window, and consumes a credit
+// returning at ret.
+func (l *link) creditAcquire(at sim.Time, ret sim.Time) sim.Time {
+	if w := l.credits[l.crIdx]; w > at {
+		at = w
+	}
+	l.credits[l.crIdx] = ret
+	l.crIdx = (l.crIdx + 1) % len(l.credits)
+	return at
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	Packets   uint64
+	Bytes     uint64
+	Hops      stats.Dist
+	LatencyPs stats.Dist
+}
+
+// Network simulates packet transport over a Topology. It is not
+// goroutine-safe; the single-threaded simulation engine serializes access.
+type Network struct {
+	topo  Topology
+	cfg   LinkConfig
+	links map[[2]int]*link
+	Stats Stats
+}
+
+// NewNetwork builds the link state for every edge of the topology.
+func NewNetwork(topo Topology, cfg LinkConfig) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{topo: topo, cfg: cfg, links: make(map[[2]int]*link)}
+	for u := 0; u < topo.Nodes(); u++ {
+		for _, v := range topo.Neighbors(u) {
+			n.links[[2]int{u, v}] = &link{credits: make([]sim.Time, cfg.Credits)}
+		}
+	}
+	return n
+}
+
+// Topology returns the network's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Config returns the link configuration.
+func (n *Network) Config() LinkConfig { return n.cfg }
+
+func (n *Network) link(u, v int) *link {
+	l, ok := n.links[[2]int{u, v}]
+	if !ok {
+		panic(fmt.Sprintf("noc: no link %d->%d in %s", u, v, n.topo.Name()))
+	}
+	return l
+}
+
+// serTime returns the serialization time of a packet of size bytes (rounded
+// up to whole flits) on one link.
+func (n *Network) serTime(size int) sim.Time {
+	flits := (size + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	if flits == 0 {
+		flits = 1
+	}
+	return sim.TransferTime(uint64(flits*n.cfg.FlitBytes), n.cfg.BytesPerSec)
+}
+
+// sendHop moves a packet across one link. headAt is when the packet's head
+// is ready at u; the return value is when the full packet has arrived at v.
+func (n *Network) sendHop(u, v int, headAt sim.Time, size int) sim.Time {
+	l := n.link(u, v)
+	ser := n.serTime(size)
+	// Credit for the whole packet must be available before injection
+	// (virtual cut-through: a packet only advances when the next buffer can
+	// hold it), then the link serializes packets FIFO.
+	start := l.creditAcquire(headAt, headAt+ser+n.cfg.WireLatency+n.cfg.RouterLatency)
+	start, end := l.bus.Reserve(start, ser)
+	_ = start
+	l.bytes += uint64(size)
+	l.packets++
+	return end + n.cfg.WireLatency + n.cfg.RouterLatency
+}
+
+// Send transports one packet of size bytes from src to dst, starting no
+// earlier than at. It returns the arrival time of the full packet at dst
+// and the number of hops taken. Transport is virtual cut-through at packet
+// granularity: a packet advances to the next link only once that link's
+// buffer has a full-packet credit, and each hop charges serialization plus
+// wire and router pipeline latency. DL packets are at most 32 flits
+// (256 B + header), so packet-granularity timing differs from flit-level
+// wormhole by less than one packet serialization per hop.
+func (n *Network) Send(at sim.Time, src, dst int, size int) (sim.Time, int) {
+	if src == dst {
+		return at, 0
+	}
+	path := n.topo.Route(src, dst)
+	t := at
+	for i := 0; i+1 < len(path); i++ {
+		t = n.sendHop(path[i], path[i+1], t, size)
+	}
+	hops := len(path) - 1
+	n.Stats.Packets++
+	n.Stats.Bytes += uint64(size)
+	n.Stats.Hops.Observe(float64(hops))
+	n.Stats.LatencyPs.Observe(float64(t - at))
+	return t, hops
+}
+
+// Broadcast floods one packet from src to every other node along the BFS
+// spanning tree. It returns the arrival time at each node (src maps to at)
+// and the time the last node received the packet.
+func (n *Network) Broadcast(at sim.Time, src int, size int) (arrivals []sim.Time, last sim.Time) {
+	parent := SpanningTree(n.topo, src)
+	arrivals = make([]sim.Time, n.topo.Nodes())
+	order := bfsOrder(parent, src)
+	arrivals[src] = at
+	last = at
+	for _, node := range order {
+		if node == src {
+			continue
+		}
+		t := n.sendHop(parent[node], node, arrivals[parent[node]], size)
+		arrivals[node] = t
+		if t > last {
+			last = t
+		}
+	}
+	n.Stats.Packets++
+	n.Stats.Bytes += uint64(size)
+	n.Stats.LatencyPs.Observe(float64(last - at))
+	return arrivals, last
+}
+
+// bfsOrder returns nodes in an order where parents precede children.
+func bfsOrder(parent []int, src int) []int {
+	children := make([][]int, len(parent))
+	for node, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], node)
+		}
+	}
+	order := []int{src}
+	for i := 0; i < len(order); i++ {
+		order = append(order, children[order[i]]...)
+	}
+	return order
+}
+
+// LinkUtilization returns the utilization of every link over [0, now],
+// keyed by "u->v".
+func (n *Network) LinkUtilization(now sim.Time) map[string]float64 {
+	out := make(map[string]float64, len(n.links))
+	for k, l := range n.links {
+		out[fmt.Sprintf("%d->%d", k[0], k[1])] = l.bus.Utilization(now)
+	}
+	return out
+}
+
+// TotalLinkBytes returns the sum of bytes carried over all links (a packet
+// crossing h hops counts h times).
+func (n *Network) TotalLinkBytes() uint64 {
+	var total uint64
+	for _, l := range n.links {
+		total += l.bytes
+	}
+	return total
+}

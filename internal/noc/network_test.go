@@ -1,0 +1,194 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testLink() LinkConfig {
+	return LinkConfig{
+		BytesPerSec:   25e9,
+		WireLatency:   1000,
+		RouterLatency: 800,
+		FlitBytes:     16,
+		Credits:       64,
+	}
+}
+
+func TestSendSingleHopLatency(t *testing.T) {
+	n := NewNetwork(NewChain(4), testLink())
+	// 256 B at 25 GB/s = 10.24 ns serialization + 1 ns wire + 0.8 ns router.
+	arrive, hops := n.Send(0, 0, 1, 256)
+	if hops != 1 {
+		t.Fatalf("hops = %d", hops)
+	}
+	want := sim.Time(10240 + 1000 + 800)
+	if arrive != want {
+		t.Fatalf("arrive = %d, want %d", arrive, want)
+	}
+}
+
+func TestSendLatencyScalesWithHops(t *testing.T) {
+	n := NewNetwork(NewChain(8), testLink())
+	one, _ := n.Send(0, 0, 1, 128)
+	n2 := NewNetwork(NewChain(8), testLink())
+	three, hops := n2.Send(0, 0, 3, 128)
+	if hops != 3 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if three != 3*one {
+		t.Fatalf("3-hop latency %d, want %d", three, 3*one)
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	n := NewNetwork(NewChain(4), testLink())
+	arrive, hops := n.Send(42, 2, 2, 64)
+	if arrive != 42 || hops != 0 {
+		t.Fatalf("self-send = (%d, %d)", arrive, hops)
+	}
+}
+
+func TestFlitRounding(t *testing.T) {
+	n := NewNetwork(NewChain(2), testLink())
+	// 1 byte still occupies one 16-byte flit.
+	a1, _ := n.Send(0, 0, 1, 1)
+	n2 := NewNetwork(NewChain(2), testLink())
+	a16, _ := n2.Send(0, 0, 1, 16)
+	if a1 != a16 {
+		t.Fatalf("sub-flit packet not rounded up: %d vs %d", a1, a16)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	n := NewNetwork(NewChain(2), testLink())
+	a, _ := n.Send(0, 0, 1, 256)
+	b, _ := n.Send(0, 0, 1, 256)
+	ser := sim.TransferTime(256, 25e9)
+	if b != a+ser {
+		t.Fatalf("second packet arrives %d, want %d", b, a+ser)
+	}
+}
+
+func TestOppositeDirectionsDontContend(t *testing.T) {
+	n := NewNetwork(NewChain(2), testLink())
+	a, _ := n.Send(0, 0, 1, 256)
+	b, _ := n.Send(0, 1, 0, 256)
+	if a != b {
+		t.Fatalf("bidirectional links should be independent: %d vs %d", a, b)
+	}
+}
+
+func TestDisjointLinksConcurrent(t *testing.T) {
+	// Packets 0->1 and 2->3 use different links and finish simultaneously.
+	n := NewNetwork(NewChain(4), testLink())
+	a, _ := n.Send(0, 0, 1, 256)
+	b, _ := n.Send(0, 2, 3, 256)
+	if a != b {
+		t.Fatalf("disjoint transfers interfere: %d vs %d", a, b)
+	}
+}
+
+func TestCreditBackpressure(t *testing.T) {
+	cfg := testLink()
+	cfg.Credits = 1 // one packet in flight per link
+	n := NewNetwork(NewChain(2), cfg)
+	a, _ := n.Send(0, 0, 1, 64)
+	b, _ := n.Send(0, 0, 1, 64)
+	// With a single credit, the second packet cannot inject until the
+	// first's credit returns (after full delivery), so the gap must exceed
+	// pure serialization.
+	ser := sim.TransferTime(64, 25e9)
+	if b-a <= ser {
+		t.Fatalf("credit backpressure missing: gap %d, serialization %d", b-a, ser)
+	}
+
+	deep := NewNetwork(NewChain(2), testLink())
+	c, _ := deep.Send(0, 0, 1, 64)
+	d, _ := deep.Send(0, 0, 1, 64)
+	if d-c != ser {
+		t.Fatalf("deep credits should be bus-limited: gap %d", d-c)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	// Pushing many packets over one link approaches the link bandwidth.
+	n := NewNetwork(NewChain(2), testLink())
+	const packets = 1000
+	var last sim.Time
+	for i := 0; i < packets; i++ {
+		last, _ = n.Send(0, 0, 1, 256)
+	}
+	gbps := float64(packets*256) / (float64(last) / 1e12) / 1e9
+	if gbps < 23 || gbps > 25.1 {
+		t.Fatalf("link saturation bandwidth %.2f GB/s, want ~25", gbps)
+	}
+}
+
+func TestBroadcastChain(t *testing.T) {
+	n := NewNetwork(NewChain(4), testLink())
+	arr, last := n.Broadcast(0, 1, 128)
+	// Node 1 is the source; 0 and 2 are one hop, 3 is two hops.
+	if arr[1] != 0 {
+		t.Fatalf("source arrival %d", arr[1])
+	}
+	if arr[0] != arr[2] {
+		t.Fatalf("one-hop arrivals differ: %d vs %d", arr[0], arr[2])
+	}
+	if arr[3] <= arr[2] {
+		t.Fatalf("two-hop arrival %d not after one-hop %d", arr[3], arr[2])
+	}
+	if last != arr[3] {
+		t.Fatalf("last = %d, want %d", last, arr[3])
+	}
+}
+
+func TestBroadcastReachesAllOnAllTopologies(t *testing.T) {
+	for _, topo := range allTopologies() {
+		n := NewNetwork(topo, testLink())
+		arr, last := n.Broadcast(0, 0, 64)
+		for node, a := range arr {
+			if node != 0 && (a == 0 || a > last) {
+				t.Fatalf("%s: node %d arrival %d (last %d)", topo.Name(), node, a, last)
+			}
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := NewNetwork(NewChain(4), testLink())
+	n.Send(0, 0, 3, 256)
+	n.Send(0, 1, 2, 64)
+	if n.Stats.Packets != 2 || n.Stats.Bytes != 320 {
+		t.Fatalf("stats %+v", n.Stats)
+	}
+	if n.Stats.Hops.Mean() != 2 {
+		t.Fatalf("mean hops %v", n.Stats.Hops.Mean())
+	}
+	if n.TotalLinkBytes() != 3*256+64 {
+		t.Fatalf("TotalLinkBytes = %d", n.TotalLinkBytes())
+	}
+	u := n.LinkUtilization(1000000)
+	if u["0->1"] == 0 || u["3->2"] != 0 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestGRSLinkDefaults(t *testing.T) {
+	cfg := GRSLink()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BytesPerSec != 25e9 || cfg.FlitBytes != 16 {
+		t.Fatalf("GRS defaults %+v", cfg)
+	}
+}
+
+func BenchmarkSend16Chain(b *testing.B) {
+	n := NewNetwork(NewChain(16), testLink())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Send(sim.Time(i)*100, i%16, (i+5)%16, 256)
+	}
+}

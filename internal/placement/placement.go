@@ -1,0 +1,133 @@
+// Package placement implements the distance-aware task mapping of
+// Section IV-B (Algorithm 1): given the profiled per-thread per-DIMM
+// traffic matrix M[T][N] and a DIMM-to-DIMM distance function, it builds
+// the cost table C[i][j] = sum_k dist(j,k) * M[i][k] and solves the
+// resulting assignment as a minimum-cost maximum-flow problem.
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/mcmf"
+)
+
+// DistFunc measures the communication distance between two DIMMs; it is
+// derived from profiling the latency between each pair of DIMMs
+// (Section V-B). dist(j,j) should be 0 or the local-access baseline.
+type DistFunc func(j, k int) float64
+
+// CostTable builds C[i][j]: the distance-weighted traffic cost of placing
+// thread i on DIMM j (Step 1 of Algorithm 1).
+func CostTable(m [][]uint64, dist DistFunc) [][]float64 {
+	c := make([][]float64, len(m))
+	for i := range m {
+		n := len(m[i])
+		c[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			var cost float64
+			for k := 0; k < n; k++ {
+				cost += dist(j, k) * float64(m[i][k])
+			}
+			c[i][j] = cost
+		}
+	}
+	return c
+}
+
+// Optimize places T threads on N DIMMs with at most perDIMM threads per
+// DIMM, minimizing total distance-weighted traffic (Steps 2-3 of
+// Algorithm 1). It returns placement[i] = DIMM of thread i.
+func Optimize(m [][]uint64, dist DistFunc, perDIMM int) ([]int, error) {
+	t := len(m)
+	if t == 0 {
+		return nil, fmt.Errorf("placement: no threads")
+	}
+	n := len(m[0])
+	if n == 0 {
+		return nil, fmt.Errorf("placement: no DIMMs")
+	}
+	if t > n*perDIMM {
+		return nil, fmt.Errorf("placement: %d threads exceed %d DIMMs x %d slots", t, n, perDIMM)
+	}
+	c := CostTable(m, dist)
+
+	// Flow network (Figure 8): Source -> threads (cap 1) -> DIMMs
+	// (cap 1, cost C[i][j]) -> Sink (cap perDIMM).
+	g := mcmf.NewGraph(2 + t + n)
+	source, sink := 0, 1+t+n
+	threadV := func(i int) int { return 1 + i }
+	dimmV := func(j int) int { return 1 + t + j }
+	for i := 0; i < t; i++ {
+		g.AddEdge(source, threadV(i), 1, 0)
+	}
+	for j := 0; j < n; j++ {
+		g.AddEdge(dimmV(j), sink, int64(perDIMM), 0)
+	}
+	ids := make([][]int, t)
+	for i := 0; i < t; i++ {
+		ids[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			ids[i][j] = g.AddEdge(threadV(i), dimmV(j), 1, c[i][j])
+		}
+	}
+	flow, _ := g.Run(source, sink)
+	if flow != int64(t) {
+		return nil, fmt.Errorf("placement: only %d of %d threads placed", flow, t)
+	}
+	placement := make([]int, t)
+	for i := 0; i < t; i++ {
+		placement[i] = -1
+		for j := 0; j < n; j++ {
+			if g.Flow(ids[i][j]) == 1 {
+				placement[i] = j
+				break
+			}
+		}
+		if placement[i] == -1 {
+			return nil, fmt.Errorf("placement: thread %d has no flowed edge", i)
+		}
+	}
+	return placement, nil
+}
+
+// Greedy is the ablation baseline: threads pick their cheapest DIMM with a
+// free slot, in thread order. It can be arbitrarily worse than Optimize
+// when popular DIMMs fill up early.
+func Greedy(m [][]uint64, dist DistFunc, perDIMM int) ([]int, error) {
+	t := len(m)
+	if t == 0 {
+		return nil, fmt.Errorf("placement: no threads")
+	}
+	n := len(m[0])
+	if t > n*perDIMM {
+		return nil, fmt.Errorf("placement: %d threads exceed capacity", t)
+	}
+	c := CostTable(m, dist)
+	used := make([]int, n)
+	placement := make([]int, t)
+	for i := 0; i < t; i++ {
+		best := -1
+		for j := 0; j < n; j++ {
+			if used[j] >= perDIMM {
+				continue
+			}
+			if best == -1 || c[i][j] < c[i][best] {
+				best = j
+			}
+		}
+		used[best]++
+		placement[i] = best
+	}
+	return placement, nil
+}
+
+// TotalCost evaluates a placement against the cost table semantics.
+func TotalCost(m [][]uint64, dist DistFunc, placement []int) float64 {
+	var total float64
+	for i, j := range placement {
+		for k := range m[i] {
+			total += dist(j, k) * float64(m[i][k])
+		}
+	}
+	return total
+}

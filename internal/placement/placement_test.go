@@ -1,0 +1,152 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chainDist is hop distance on a linear chain of DIMMs.
+func chainDist(j, k int) float64 {
+	return math.Abs(float64(j - k))
+}
+
+func TestCostTable(t *testing.T) {
+	// One thread touching DIMM 0 ten times and DIMM 2 once, on a 3-DIMM
+	// chain.
+	m := [][]uint64{{10, 0, 1}}
+	c := CostTable(m, chainDist)
+	// Placing on DIMM 0: 0*10 + 2*1 = 2; DIMM 1: 10+1 = 11; DIMM 2: 20.
+	want := []float64{2, 11, 20}
+	for j, w := range want {
+		if c[0][j] != w {
+			t.Fatalf("C[0] = %v, want %v", c[0], want)
+		}
+	}
+}
+
+func TestOptimizePinsThreadsToTheirData(t *testing.T) {
+	// 4 threads, 4 DIMMs, thread i overwhelmingly touches DIMM 3-i.
+	m := make([][]uint64, 4)
+	for i := range m {
+		m[i] = make([]uint64, 4)
+		m[i][3-i] = 1000
+	}
+	p, err := Optimize(m, chainDist, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range p {
+		if d != 3-i {
+			t.Fatalf("placement = %v", p)
+		}
+	}
+}
+
+func TestOptimizeRespectsCapacity(t *testing.T) {
+	// 4 threads all love DIMM 0 but only 2 slots exist per DIMM.
+	m := make([][]uint64, 4)
+	for i := range m {
+		m[i] = []uint64{100, 0}
+	}
+	p, err := Optimize(m, chainDist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, d := range p {
+		counts[d]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("placement %v violates capacity", p)
+	}
+}
+
+func TestOptimizeBeatsOrMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		threads := 8
+		dimms := 4
+		m := make([][]uint64, threads)
+		for i := range m {
+			m[i] = make([]uint64, dimms)
+			for j := range m[i] {
+				m[i][j] = uint64(rng.Intn(1000))
+			}
+		}
+		opt, err := Optimize(m, chainDist, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gre, err := Greedy(m, chainDist, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCost := TotalCost(m, chainDist, opt)
+		greCost := TotalCost(m, chainDist, gre)
+		if optCost > greCost+1e-9 {
+			t.Fatalf("trial %d: MCMF cost %v worse than greedy %v", trial, optCost, greCost)
+		}
+	}
+}
+
+func TestOptimizeIsOptimalOnSmallInstances(t *testing.T) {
+	// Exhaustive check on 4 threads x 2 DIMMs x 2 slots.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		m := make([][]uint64, 4)
+		for i := range m {
+			m[i] = []uint64{uint64(rng.Intn(50)), uint64(rng.Intn(50))}
+		}
+		opt, err := Optimize(m, chainDist, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optCost := TotalCost(m, chainDist, opt)
+		// Enumerate all assignments of 4 threads to 2 DIMMs with <=2 each.
+		best := math.Inf(1)
+		for mask := 0; mask < 16; mask++ {
+			ones := 0
+			p := make([]int, 4)
+			for i := 0; i < 4; i++ {
+				if mask>>i&1 == 1 {
+					ones++
+					p[i] = 1
+				}
+			}
+			if ones != 2 {
+				continue
+			}
+			if c := TotalCost(m, chainDist, p); c < best {
+				best = c
+			}
+		}
+		if math.Abs(optCost-best) > 1e-9 {
+			t.Fatalf("trial %d: MCMF %v, exhaustive %v", trial, optCost, best)
+		}
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(nil, chainDist, 1); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	m := [][]uint64{{1}, {1}, {1}}
+	if _, err := Optimize(m, chainDist, 2); err == nil {
+		t.Fatal("over-capacity instance accepted")
+	}
+	if _, err := Greedy(m, chainDist, 2); err == nil {
+		t.Fatal("greedy over-capacity accepted")
+	}
+}
+
+func TestGreedyFillsInThreadOrder(t *testing.T) {
+	m := [][]uint64{{10, 0}, {10, 0}, {10, 0}}
+	p, err := Greedy(m, chainDist, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 || p[1] != 0 || p[2] != 1 {
+		t.Fatalf("greedy placement %v", p)
+	}
+}

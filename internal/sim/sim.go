@@ -1,0 +1,313 @@
+// Package sim provides the discrete-event simulation kernel that every
+// timing model in this repository is built on.
+//
+// The kernel is deliberately small: a clock, an event heap with
+// deterministic FIFO tie-breaking, and a couple of helper abstractions
+// (BusyLine for serialized resources such as data buses and serial links,
+// Ticker for periodic activities such as host polling and DRAM refresh).
+//
+// Simulated time is measured in integer picoseconds so that components in
+// different clock domains (2.5 GHz cores, DDR4-3200 DRAM, 25 GB/s SerDes
+// links) can be composed without fractional-cycle bookkeeping. A uint64
+// picosecond clock wraps after ~213 days of simulated time, far beyond any
+// experiment in this repository.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in (or duration of) simulated time, in picoseconds.
+type Time = uint64
+
+// Convenient duration units, all expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * 1000
+	Millisecond Time = 1000 * 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000 * 1000
+)
+
+// Period returns the duration of one cycle of a clock running at hz hertz.
+// It rounds to the nearest picosecond.
+func Period(hz float64) Time {
+	if hz <= 0 {
+		panic(fmt.Sprintf("sim: non-positive frequency %v", hz))
+	}
+	return Time(1e12/hz + 0.5)
+}
+
+// Cycles converts n cycles of a clock with the given period into a duration.
+func Cycles(n uint64, period Time) Time { return n * period }
+
+// TransferTime returns the time to move n bytes over a resource with the
+// given bandwidth in bytes per second, rounded up to a whole picosecond.
+func TransferTime(n uint64, bytesPerSec float64) Time {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("sim: non-positive bandwidth %v", bytesPerSec))
+	}
+	t := float64(n) / bytesPerSec * 1e12
+	ft := Time(t)
+	if float64(ft) < t {
+		ft++
+	}
+	return ft
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic single-threaded discrete-event simulator.
+// Events scheduled for the same instant run in the order they were
+// scheduled. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+}
+
+// NewEngine returns an empty engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a timing-model bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor executes events for d picoseconds of simulated time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// BusyLine models a resource that serves requests one at a time in FIFO
+// order: a DRAM data bus, a SerDes lane, the host memory channel during
+// forwarding. Reserving time on the line returns when the transfer starts
+// and ends; the caller schedules its own completion event.
+type BusyLine struct {
+	busyUntil Time
+	busyTotal Time // accumulated occupied time, for utilization stats
+}
+
+// Reserve books dur picoseconds on the line no earlier than at, returning
+// the start and end of the booked slot.
+func (b *BusyLine) Reserve(at Time, dur Time) (start, end Time) {
+	start = at
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	end = start + dur
+	b.busyUntil = end
+	b.busyTotal += dur
+	return start, end
+}
+
+// FreeAt returns the earliest time the line becomes free.
+func (b *BusyLine) FreeAt() Time { return b.busyUntil }
+
+// BusyTotal returns the cumulative time the line has been occupied.
+func (b *BusyLine) BusyTotal() Time { return b.busyTotal }
+
+// Utilization returns the fraction of [0, now] the line was occupied.
+func (b *BusyLine) Utilization(now Time) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(b.busyTotal) / float64(now)
+}
+
+// Pool models a resource with K interchangeable slots served in FIFO order
+// of request: transaction tags, MSHR entries, buffer slots. Acquire books
+// the slot that frees earliest.
+type Pool struct {
+	freeAt []Time
+	// HighWater tracks the maximum number of simultaneously busy slots
+	// observed at acquisition time.
+	HighWater int
+}
+
+// NewPool creates a pool with k slots, all free at time zero.
+func NewPool(k int) *Pool {
+	if k <= 0 {
+		panic(fmt.Sprintf("sim: pool with %d slots", k))
+	}
+	return &Pool{freeAt: make([]Time, k)}
+}
+
+// Acquire books one slot for [start, start+dur) where start is the earliest
+// time >= at any slot is free. It returns the booked interval.
+func (p *Pool) Acquire(at Time, dur Time) (start, end Time) {
+	best := 0
+	busy := 0
+	for i, f := range p.freeAt {
+		if f > at {
+			busy++
+		}
+		if f < p.freeAt[best] {
+			best = i
+		}
+	}
+	if busy > p.HighWater {
+		p.HighWater = busy
+	}
+	start = at
+	if p.freeAt[best] > start {
+		start = p.freeAt[best]
+	}
+	end = start + dur
+	p.freeAt[best] = end
+	return start, end
+}
+
+// Size returns the slot count.
+func (p *Pool) Size() int { return len(p.freeAt) }
+
+// AcquireSlot books the earliest-free slot starting no earlier than at,
+// with the release time not yet known (the slot stays busy until
+// ReleaseSlot). It returns the slot index and the booked start time.
+func (p *Pool) AcquireSlot(at Time) (slot int, start Time) {
+	const forever = ^Time(0)
+	best := -1
+	busy := 0
+	for i, f := range p.freeAt {
+		if f > at {
+			busy++
+		}
+		if f == forever {
+			continue
+		}
+		if best == -1 || f < p.freeAt[best] {
+			best = i
+		}
+	}
+	if busy > p.HighWater {
+		p.HighWater = busy
+	}
+	if best == -1 {
+		panic("sim: AcquireSlot with every slot held open")
+	}
+	start = at
+	if p.freeAt[best] > start {
+		start = p.freeAt[best]
+	}
+	p.freeAt[best] = forever
+	return best, start
+}
+
+// ReleaseSlot frees a slot previously taken by AcquireSlot at time at.
+func (p *Pool) ReleaseSlot(slot int, at Time) {
+	if p.freeAt[slot] != ^Time(0) {
+		panic("sim: releasing a slot that is not held")
+	}
+	p.freeAt[slot] = at
+}
+
+// Ticker invokes a callback periodically. It is used for host polling loops
+// and DRAM refresh. The callback may stop the ticker by calling Stop.
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func(Time)
+	stopped bool
+}
+
+// NewTicker starts a ticker on eng that calls fn every period picoseconds,
+// with the first call one period from now.
+func NewTicker(eng *Engine, period Time, fn func(Time)) *Ticker {
+	if period == 0 {
+		panic("sim: zero ticker period")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.eng.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.eng.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call from within the callback.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Stopped reports whether the ticker has been stopped.
+func (t *Ticker) Stopped() bool { return t.stopped }

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPeriod(t *testing.T) {
+	cases := []struct {
+		hz   float64
+		want Time
+	}{
+		{1e9, 1000},    // 1 GHz -> 1 ns
+		{2.5e9, 400},   // 2.5 GHz -> 400 ps
+		{1.6e9, 625},   // DDR4-3200 clock
+		{1e12, 1},      // 1 THz -> 1 ps
+		{100e6, 10000}, // 100 MHz FPGA -> 10 ns
+	}
+	for _, c := range cases {
+		if got := Period(c.hz); got != c.want {
+			t.Errorf("Period(%v) = %d, want %d", c.hz, got, c.want)
+		}
+	}
+}
+
+func TestPeriodPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Period(0) did not panic")
+		}
+	}()
+	Period(0)
+}
+
+func TestTransferTime(t *testing.T) {
+	// 25 GB/s, 256 bytes -> 10.24 ns -> rounded up to 10240 ps exactly.
+	if got := TransferTime(256, 25e9); got != 10240 {
+		t.Errorf("TransferTime(256, 25GB/s) = %d, want 10240", got)
+	}
+	// Rounds up: 1 byte at 3 GB/s = 333.33 ps -> 334.
+	if got := TransferTime(1, 3e9); got != 334 {
+		t.Errorf("TransferTime(1, 3GB/s) = %d, want 334", got)
+	}
+	if got := TransferTime(0, 25e9); got != 0 {
+		t.Errorf("TransferTime(0, ...) = %d, want 0", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Fatalf("Processed() = %d, want 3", e.Processed())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of scheduling order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+		e.After(0, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 10, 15}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := map[Time]bool{}
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { ran[at] = true })
+	}
+	e.RunUntil(25)
+	if !ran[10] || !ran[20] || ran[30] {
+		t.Fatalf("RunUntil(25) ran wrong events: %v", ran)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %d after RunUntil(25)", e.Now())
+	}
+	e.RunFor(10)
+	if !ran[30] || ran[40] {
+		t.Fatalf("RunFor(10) ran wrong events: %v", ran)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("Now() = %d after RunFor(10)", e.Now())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	// The same randomized schedule must replay identically.
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			e.At(Time(rng.Intn(50)), func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic replay at index %d", i)
+		}
+	}
+}
+
+func TestBusyLineSerializes(t *testing.T) {
+	var b BusyLine
+	s1, e1 := b.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first reserve = [%d,%d], want [0,10]", s1, e1)
+	}
+	// Overlapping request queues behind the first.
+	s2, e2 := b.Reserve(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second reserve = [%d,%d], want [10,20]", s2, e2)
+	}
+	// A late request starts immediately.
+	s3, e3 := b.Reserve(100, 10)
+	if s3 != 100 || e3 != 110 {
+		t.Fatalf("third reserve = [%d,%d], want [100,110]", s3, e3)
+	}
+	if b.BusyTotal() != 30 {
+		t.Fatalf("BusyTotal = %d, want 30", b.BusyTotal())
+	}
+	if u := b.Utilization(300); u != 0.1 {
+		t.Fatalf("Utilization(300) = %v, want 0.1", u)
+	}
+}
+
+func TestBusyLineProperties(t *testing.T) {
+	// Property: reservations never overlap and never start before requested.
+	f := func(reqs []uint8) bool {
+		var b BusyLine
+		var at Time
+		var lastEnd Time
+		for _, r := range reqs {
+			at += Time(r % 16)
+			dur := Time(r%7 + 1)
+			s, e := b.Reserve(at, dur)
+			if s < at || e != s+dur || s < lastEnd {
+				return false
+			}
+			lastEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	NewTicker(e, 100, func(now Time) { ticks = append(ticks, now) })
+	e.RunUntil(350)
+	if len(ticks) != 3 || ticks[0] != 100 || ticks[1] != 200 || ticks[2] != 300 {
+		t.Fatalf("ticks = %v, want [100 200 300]", ticks)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, 10, func(Time) {
+		n++
+		if n == 5 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 5 {
+		t.Fatalf("ticker fired %d times after Stop at 5", n)
+	}
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}
+
+func TestPoolAcquire(t *testing.T) {
+	p := NewPool(2)
+	s1, e1 := p.Acquire(0, 10)
+	s2, e2 := p.Acquire(0, 10)
+	if s1 != 0 || s2 != 0 || e1 != 10 || e2 != 10 {
+		t.Fatalf("two slots should start immediately: %d %d", s1, s2)
+	}
+	s3, _ := p.Acquire(0, 10)
+	if s3 != 10 {
+		t.Fatalf("third acquisition at %d, want 10", s3)
+	}
+	if p.HighWater != 2 {
+		t.Fatalf("HighWater = %d", p.HighWater)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestPoolAcquireReleaseSlot(t *testing.T) {
+	p := NewPool(1)
+	slot, start := p.AcquireSlot(5)
+	if start != 5 {
+		t.Fatalf("start = %d", start)
+	}
+	p.ReleaseSlot(slot, 100)
+	_, start2 := p.AcquireSlot(7)
+	if start2 != 100 {
+		t.Fatalf("second start = %d, want 100", start2)
+	}
+}
+
+func TestPoolPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPool(0) },
+		func() {
+			p := NewPool(1)
+			p.AcquireSlot(0)
+			p.AcquireSlot(0) // every slot held open
+		},
+		func() {
+			p := NewPool(1)
+			p.ReleaseSlot(0, 10) // not held
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPoolFIFOFairness(t *testing.T) {
+	// Property: with k slots and uniform durations, the i-th request starts
+	// no earlier than request i-k's end.
+	p := NewPool(3)
+	var ends []Time
+	for i := 0; i < 30; i++ {
+		s, e := p.Acquire(Time(i), 50)
+		if i >= 3 && s < ends[i-3] {
+			t.Fatalf("request %d started at %d before slot freed at %d", i, s, ends[i-3])
+		}
+		ends = append(ends, e)
+	}
+}

@@ -1,0 +1,237 @@
+// Package stats provides the counters, distributions and table rendering
+// used by every timing model and by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a named set of monotonically increasing uint64 counters.
+// The zero value is ready to use.
+type Counters struct {
+	m map[string]uint64
+}
+
+// Add increments the named counter by v.
+func (c *Counters) Add(name string, v uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += v
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns all counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter in other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.Add(k, v)
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { c.m = nil }
+
+// Dist accumulates a distribution of sample values (latencies, hop counts).
+// The zero value is ready to use.
+type Dist struct {
+	N     uint64
+	Sum   float64
+	SumSq float64
+	MinV  float64
+	MaxV  float64
+}
+
+// Observe adds one sample.
+func (d *Dist) Observe(v float64) {
+	if d.N == 0 || v < d.MinV {
+		d.MinV = v
+	}
+	if d.N == 0 || v > d.MaxV {
+		d.MaxV = v
+	}
+	d.N++
+	d.Sum += v
+	d.SumSq += v * v
+}
+
+// Mean returns the sample mean, or zero when empty.
+func (d *Dist) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.N)
+}
+
+// Std returns the population standard deviation, or zero when empty.
+func (d *Dist) Std() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.SumSq/float64(d.N) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Merge folds other into d.
+func (d *Dist) Merge(other *Dist) {
+	if other.N == 0 {
+		return
+	}
+	if d.N == 0 {
+		*d = *other
+		return
+	}
+	if other.MinV < d.MinV {
+		d.MinV = other.MinV
+	}
+	if other.MaxV > d.MaxV {
+		d.MaxV = other.MaxV
+	}
+	d.N += other.N
+	d.Sum += other.Sum
+	d.SumSq += other.SumSq
+}
+
+func (d *Dist) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f min=%.0f max=%.0f", d.N, d.Mean(), d.MinV, d.MaxV)
+}
+
+// GeoMean returns the geometric mean of vs. All values must be positive;
+// an empty slice returns zero.
+func GeoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", v))
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// Table renders aligned rows for the experiment harness. Cells are strings;
+// use Addf for formatted cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row of pre-rendered cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Addf appends a row, formatting each value with %v for strings/ints and
+// trimmed %.3g-style formatting for floats.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case float32:
+			row[i] = FormatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: 3 decimal places for small values,
+// fewer for large ones.
+func FormatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Render writes the table in aligned plain-text form.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values (no quoting; cells in this
+// repository never contain commas).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Inc("a")
+	c.Add("a", 4)
+	c.Add("b", 7)
+	if c.Get("a") != 5 || c.Get("b") != 7 || c.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v", names)
+	}
+	var d Counters
+	d.Add("b", 3)
+	d.Add("c", 1)
+	c.Merge(&d)
+	if c.Get("b") != 10 || c.Get("c") != 1 {
+		t.Fatalf("merge wrong: b=%d c=%d", c.Get("b"), c.Get("c"))
+	}
+	c.Reset()
+	if c.Get("a") != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestDist(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Observe(v)
+	}
+	if d.N != 8 || d.Mean() != 5 {
+		t.Fatalf("N=%d mean=%v", d.N, d.Mean())
+	}
+	if math.Abs(d.Std()-2) > 1e-9 {
+		t.Fatalf("Std = %v, want 2", d.Std())
+	}
+	if d.MinV != 2 || d.MaxV != 9 {
+		t.Fatalf("min=%v max=%v", d.MinV, d.MaxV)
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	var a, b, whole Dist
+	samples := []float64{1, 5, 3, 8, 2, 9, 4, 4}
+	for i, v := range samples {
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N != whole.N || a.Mean() != whole.Mean() || a.MinV != whole.MinV || a.MaxV != whole.MaxV {
+		t.Fatalf("merged %v != whole %v", a.String(), whole.String())
+	}
+}
+
+func TestDistMergeProperty(t *testing.T) {
+	clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+	f := func(xs, ys []float64) bool {
+		var a, b, w Dist
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			a.Observe(clamp(x))
+			w.Observe(clamp(x))
+		}
+		for _, y := range ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return true
+			}
+			b.Observe(clamp(y))
+			w.Observe(clamp(y))
+		}
+		a.Merge(&b)
+		return a.N == w.N && a.MinV == w.MinV && a.MaxV == w.MaxV &&
+			math.Abs(a.Sum-w.Sum) < 1e-6*(1+math.Abs(w.Sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4, 16})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with zero did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Addf("alpha", 1.5)
+	tb.Addf("b", 42)
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "alpha  1.50") {
+		t.Fatalf("bad alignment:\n%s", s)
+	}
+	var csv strings.Builder
+	tb.CSV(&csv)
+	if !strings.HasPrefix(csv.String(), "name,value\nalpha,1.50\n") {
+		t.Fatalf("bad csv:\n%s", csv.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		123.456: "123.5",
+		2.5:     "2.50",
+		0.1234:  "0.1234",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

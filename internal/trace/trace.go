@@ -1,0 +1,183 @@
+// Package trace provides memory-trace recording and replay. The paper's
+// FPGA prototype (Section V-A) is trace-driven: "We use pre-dumped traces
+// to drive the system. The ARM processor translates the memory traces to
+// Read/Write requests". This package reproduces that mode: a Recorder
+// captures the access stream of any workload run, and Replay drives a
+// system from a saved trace without the original workload.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/cores"
+	"repro/internal/nmp"
+	"repro/internal/sim"
+)
+
+// Record is one traced memory operation.
+type Record struct {
+	Seq    uint64 // per-thread sequence number
+	Thread int
+	Addr   uint64
+	Size   uint32
+	Write  bool
+	// Gap is the compute time (core cycles) between the previous operation
+	// of this thread and this one.
+	Gap uint64
+}
+
+// Trace is an ordered set of records, grouped per thread at replay time.
+type Trace struct {
+	Threads int
+	Records []Record
+}
+
+// Recorder implements cores.Memory, forwarding to an underlying memory
+// system while capturing every access.
+type Recorder struct {
+	Inner cores.Memory
+	Trace Trace
+
+	lastOp map[int]sim.Time
+	hz     float64
+}
+
+// NewRecorder wraps inner; clockHz converts inter-access times to cycles.
+func NewRecorder(inner cores.Memory, threads int, clockHz float64) *Recorder {
+	return &Recorder{Inner: inner, Trace: Trace{Threads: threads}, lastOp: map[int]sim.Time{}, hz: clockHz}
+}
+
+func (r *Recorder) record(at sim.Time, core int, addr uint64, size uint32, write bool) {
+	gapCycles := uint64(0)
+	if last, ok := r.lastOp[core]; ok && at > last {
+		gapCycles = uint64(float64(at-last) * r.hz / 1e12)
+	}
+	r.lastOp[core] = at
+	r.Trace.Records = append(r.Trace.Records, Record{
+		Seq: uint64(len(r.Trace.Records)), Thread: core,
+		Addr: addr, Size: size, Write: write, Gap: gapCycles,
+	})
+}
+
+// Access implements cores.Memory.
+func (r *Recorder) Access(at sim.Time, core int, addr uint64, size uint32, write bool) (sim.Time, bool) {
+	r.record(at, core, addr, size, write)
+	return r.Inner.Access(at, core, addr, size, write)
+}
+
+// Scatter implements cores.Memory (recorded as one line-sized op per
+// scattered element would explode traces; record the envelope instead).
+func (r *Recorder) Scatter(at sim.Time, core int, addr uint64, span uint64, count uint32, write bool) (sim.Time, bool) {
+	r.record(at, core, addr, count*64, write)
+	return r.Inner.Scatter(at, core, addr, span, count, write)
+}
+
+// Broadcast implements cores.Memory.
+func (r *Recorder) Broadcast(at sim.Time, core int, addr uint64, size uint32) sim.Time {
+	r.record(at, core, addr, size, false)
+	return r.Inner.Broadcast(at, core, addr, size)
+}
+
+// Barrier implements cores.Memory.
+func (r *Recorder) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
+	return r.Inner.Barrier(arrivals, threadDIMM)
+}
+
+// Encode writes the trace in a line-oriented text format:
+//
+//	#threads N
+//	<thread> <R|W> <addr-hex> <size> <gap-cycles>
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#threads %d\n", t.Threads); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		op := "R"
+		if r.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %x %d %d\n", r.Thread, op, r.Addr, r.Size, r.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode parses a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if _, err := fmt.Sscanf(sc.Text(), "#threads %d", &t.Threads); err != nil {
+		return nil, fmt.Errorf("trace: bad header %q: %v", sc.Text(), err)
+	}
+	seq := uint64(0)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var rec Record
+		var op string
+		if _, err := fmt.Sscanf(line, "%d %s %x %d %d", &rec.Thread, &op, &rec.Addr, &rec.Size, &rec.Gap); err != nil {
+			return nil, fmt.Errorf("trace: bad record %q: %v", line, err)
+		}
+		if rec.Thread < 0 || rec.Thread >= t.Threads {
+			return nil, fmt.Errorf("trace: thread %d out of range", rec.Thread)
+		}
+		switch op {
+		case "R":
+		case "W":
+			rec.Write = true
+		default:
+			return nil, fmt.Errorf("trace: bad op %q", op)
+		}
+		rec.Seq = seq
+		seq++
+		t.Records = append(t.Records, rec)
+	}
+	return t, sc.Err()
+}
+
+// Replay is a workloads-compatible kernel that re-issues a trace: each
+// traced thread becomes one simulated thread replaying its operations in
+// order with the recorded compute gaps. Thread IDs beyond the available
+// placement wrap around.
+type Replay struct {
+	T *Trace
+}
+
+// Name implements the workload naming convention.
+func (r *Replay) Name() string { return "TraceReplay" }
+
+// Run drives the system from the trace.
+func (r *Replay) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+	perThread := make([][]Record, len(placement))
+	for _, rec := range r.T.Records {
+		slot := rec.Thread % len(placement)
+		perThread[slot] = append(perThread[slot], rec)
+	}
+	res := sys.RunKernel(profile, func(g *cores.Group) {
+		err := sys.SpawnPlaced(g, placement, func(tid int, c *cores.Ctx) {
+			for _, rec := range perThread[tid] {
+				c.Compute(rec.Gap)
+				if rec.Write {
+					c.Store(rec.Addr, rec.Size)
+				} else {
+					c.Load(rec.Addr, rec.Size)
+				}
+			}
+			c.Drain()
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return res, uint64(len(r.T.Records))
+}

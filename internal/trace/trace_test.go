@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cores"
+	"repro/internal/mem"
+	"repro/internal/nmp"
+	"repro/internal/sim"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := &Trace{Threads: 2, Records: []Record{
+		{Seq: 0, Thread: 0, Addr: 0x1000, Size: 64, Write: false, Gap: 10},
+		{Seq: 1, Thread: 1, Addr: 0xdeadbeef, Size: 4096, Write: true, Gap: 0},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threads != 2 || len(got.Records) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i := range tr.Records {
+		a, b := tr.Records[i], got.Records[i]
+		if a.Thread != b.Thread || a.Addr != b.Addr || a.Size != b.Size || a.Write != b.Write || a.Gap != b.Gap {
+			t.Fatalf("record %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"#threads x\n",
+		"#threads 1\n0 Z 10 64 0\n",
+		"#threads 1\n5 R 10 64 0\n", // thread out of range
+		"#threads 1\nnot a record\n",
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRecorderCapturesAccesses(t *testing.T) {
+	sys := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, nmp.MechDIMMLink))
+	rec := NewRecorder(sys.Memory(), 4, 2.5e9)
+	seg := sys.Space.MustAllocOn("x", 4096, 0, mem.SharedRW)
+	g := cores.NewGroup(sys.Eng, sys.Cfg.NMPCore, rec)
+	g.Spawn(0, 0, func(c *cores.Ctx) {
+		c.LoadDep(seg.Addr(0), 64)
+		c.Compute(100)
+		c.Store(seg.Addr(64), 64)
+		c.Drain()
+	})
+	g.Run()
+	sys.Stop()
+	if len(rec.Trace.Records) != 2 {
+		t.Fatalf("records = %d", len(rec.Trace.Records))
+	}
+	if rec.Trace.Records[1].Gap == 0 {
+		t.Fatal("compute gap not recorded")
+	}
+	if !rec.Trace.Records[1].Write {
+		t.Fatal("write not recorded")
+	}
+}
+
+func TestReplayRuns(t *testing.T) {
+	sys := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, nmp.MechDIMMLink))
+	seg := sys.Space.MustAllocOn("buf", 1<<16, 1, mem.SharedRW)
+	tr := &Trace{Threads: 2}
+	for i := uint64(0); i < 50; i++ {
+		tr.Records = append(tr.Records, Record{
+			Seq: i, Thread: int(i % 2), Addr: seg.Addr(i * 64), Size: 64,
+			Write: i%3 == 0, Gap: 20,
+		})
+	}
+	rp := &Replay{T: tr}
+	place := sys.DefaultPlacement()
+	res, n := rp.Run(sys, place, false)
+	if n != 50 || res.Makespan == 0 {
+		t.Fatalf("replay: n=%d makespan=%d", n, res.Makespan)
+	}
+	// The buffer lives on DIMM 1; threads on DIMM 0 reached it via IDC.
+	if sys.IC.Counters().Get("remote.reads") == 0 && sys.IC.Counters().Get("remote.writes") == 0 {
+		t.Fatal("replay produced no IDC traffic")
+	}
+}
+
+func TestRecorderReplayEquivalence(t *testing.T) {
+	// Record a small kernel, replay it on a fresh identical system, and
+	// check the DRAM traffic matches to first order.
+	build := func() (*nmp.System, *mem.Segment) {
+		sys := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, nmp.MechDIMMLink))
+		seg := sys.Space.MustAllocOn("d", 1<<16, 0, mem.SharedRW)
+		return sys, seg
+	}
+	sysA, segA := build()
+	rec := NewRecorder(sysA.Memory(), 4, 2.5e9)
+	g := cores.NewGroup(sysA.Eng, sysA.Cfg.NMPCore, rec)
+	g.Spawn(0, 0, func(c *cores.Ctx) {
+		for i := uint64(0); i < 100; i++ {
+			c.Load(segA.Addr(i*64), 64)
+		}
+		c.Drain()
+	})
+	g.Run()
+	sysA.Stop()
+
+	var buf bytes.Buffer
+	if err := rec.Trace.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, _ := build()
+	rp := &Replay{T: decoded}
+	rp.Run(sysB, []int{0}, false)
+	readsA := sysA.Modules[0].Stats.Reads
+	readsB := sysB.Modules[0].Stats.Reads
+	if readsB < readsA {
+		t.Fatalf("replay reads %d < recorded reads %d", readsB, readsA)
+	}
+	_ = sim.Time(0)
+}

@@ -1,0 +1,200 @@
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cores"
+	"repro/internal/mem"
+	"repro/internal/nmp"
+)
+
+// Workload is one benchmark. Run executes it on a freshly built system with
+// the given thread placement (see nmp.System.DefaultPlacement) and returns
+// the kernel result plus a checksum of the functional output, which must be
+// placement- and mechanism-independent.
+type Workload interface {
+	Name() string
+	Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64)
+}
+
+// bulkChunk is the granularity of bulk remote transfers in the BSP
+// exchange phases.
+const bulkChunk = 4096
+
+// Parts splits n items into len(cuts)-1 equal contiguous partitions;
+// partition p is processed by thread p and its data lives on the DIMM
+// nmp.System.PartitionDIMM(p) assigns.
+type Parts struct {
+	N    int
+	T    int
+	per  int
+	segs []*mem.Segment // optional state segment per partition
+}
+
+// MakeParts partitions n items across t threads.
+func MakeParts(n, t int) Parts {
+	if n <= 0 || t <= 0 {
+		panic(fmt.Sprintf("workloads: partition %d items on %d threads", n, t))
+	}
+	return Parts{N: n, T: t, per: (n + t - 1) / t}
+}
+
+// Of returns the partition owning item i.
+func (p Parts) Of(i int) int { return i / p.per }
+
+// Range returns partition q's item range [lo, hi).
+func (p Parts) Range(q int) (lo, hi int) {
+	lo = q * p.per
+	hi = lo + p.per
+	if hi > p.N {
+		hi = p.N
+	}
+	if lo > p.N {
+		lo = p.N
+	}
+	return
+}
+
+// Size returns the number of items in partition q.
+func (p Parts) Size(q int) int {
+	lo, hi := p.Range(q)
+	return hi - lo
+}
+
+// AllocState allocates one state segment per partition (elem bytes per
+// item) on each partition's home DIMM, with the given sharing attribute.
+func (p *Parts) AllocState(sys *nmp.System, name string, elem uint64, attr mem.Attr) {
+	p.segs = make([]*mem.Segment, p.T)
+	for q := 0; q < p.T; q++ {
+		size := uint64(p.Size(q)) * elem
+		if size == 0 {
+			size = elem
+		}
+		p.segs[q] = sys.Space.MustAllocOn(
+			fmt.Sprintf("%s.%d", name, q), size, sys.PartitionDIMM(q), attr)
+	}
+}
+
+// Addr returns the physical address of item i's state (elem bytes each).
+func (p Parts) Addr(i int, elem uint64) uint64 {
+	q := p.Of(i)
+	lo, _ := p.Range(q)
+	return p.segs[q].Addr(uint64(i-lo) * elem)
+}
+
+// Seg returns partition q's state segment.
+func (p Parts) Seg(q int) *mem.Segment { return p.segs[q] }
+
+// streamLoad charges the timing model for reading n bytes from seg starting
+// at off, in bulkChunk blocks (a streaming scan).
+func streamLoad(c *cores.Ctx, seg *mem.Segment, off, n uint64) {
+	for n > 0 {
+		sz := uint64(bulkChunk)
+		if n < sz {
+			sz = n
+		}
+		c.Load(seg.Addr(off), uint32(sz))
+		off += sz
+		n -= sz
+	}
+}
+
+// streamStore charges the timing model for writing n bytes to seg starting
+// at off, in bulkChunk blocks.
+func streamStore(c *cores.Ctx, seg *mem.Segment, off, n uint64) {
+	for n > 0 {
+		sz := uint64(bulkChunk)
+		if n < sz {
+			sz = n
+		}
+		c.Store(seg.Addr(off), uint32(sz))
+		off += sz
+		n -= sz
+	}
+}
+
+// inboxes is the BSP mailbox fabric: one region per (receiver, sender)
+// pair, placed on the receiver partition's DIMM. Senders bulk-write their
+// updates; receivers stream them back in locally after the barrier.
+type inboxes struct {
+	parts   Parts
+	perPair uint64
+	segs    []*mem.Segment // per receiver
+}
+
+// newInboxes allocates mailbox space for t partitions with perPair bytes
+// for each sender->receiver pair.
+func newInboxes(sys *nmp.System, name string, parts Parts, perPair uint64) *inboxes {
+	ib := &inboxes{parts: parts, perPair: perPair}
+	ib.segs = make([]*mem.Segment, parts.T)
+	for q := 0; q < parts.T; q++ {
+		ib.segs[q] = sys.Space.MustAllocOn(
+			fmt.Sprintf("%s.inbox.%d", name, q),
+			perPair*uint64(parts.T), sys.PartitionDIMM(q), mem.SharedRW)
+	}
+	return ib
+}
+
+// send charges a bulk write of n bytes from sender to receiver's mailbox.
+// Volumes beyond the pair region wrap (the functional data travels through
+// Go structures; only timing needs the addresses).
+func (ib *inboxes) send(c *cores.Ctx, sender, receiver int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if n > ib.perPair {
+		n = ib.perPair
+	}
+	streamStore(c, ib.segs[receiver], uint64(sender)*ib.perPair, n)
+}
+
+// recv charges the receiver's local scan of the data sender delivered.
+func (ib *inboxes) recv(c *cores.Ctx, receiver, sender int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if n > ib.perPair {
+		n = ib.perPair
+	}
+	streamLoad(c, ib.segs[receiver], uint64(sender)*ib.perPair, n)
+}
+
+// hashUint32s checksums functional results.
+func hashUint32s(vs []int32) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range vs {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// hashFloats checksums float results with quantization so that float
+// summation order (which is fixed anyway, but defensively) cannot flip
+// low-order bits.
+func hashFloats(vs []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range vs {
+		q := int64(v * 1e6)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(q >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// runPlaced wraps the spawn/run boilerplate shared by all workloads.
+func runPlaced(sys *nmp.System, placement []int, profile bool, body func(tid int, c *cores.Ctx)) nmp.KernelResult {
+	return sys.RunKernel(profile, func(g *cores.Group) {
+		if err := sys.SpawnPlaced(g, placement, body); err != nil {
+			panic(err)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/cores"
+	"repro/internal/mem"
+	"repro/internal/nmp"
+)
+
+// NW is Needleman-Wunsch global sequence alignment, parallelized in the
+// classic blocked-wavefront form: the DP matrix is column-banded across
+// threads, and each anti-diagonal wave computes one block per active
+// thread. Each block consumes the left-edge column of the neighboring
+// band — a *dependent* transfer that is remote whenever adjacent bands live
+// on different DIMMs, which is why NW is the paper's most latency-sensitive
+// workload (it peaks at 4 DIMMs in Figure 10).
+type NW struct {
+	X, Y      []byte // sequences, len L
+	BlockRows int
+	Match     int32
+	Mismatch  int32
+	Gap       int32
+}
+
+// NewNW builds an alignment instance of length l.
+func NewNW(l, blockRows int, seed int64) *NW {
+	rng := rand.New(rand.NewSource(seed))
+	letters := []byte("ACGT")
+	x := make([]byte, l)
+	y := make([]byte, l)
+	for i := range x {
+		x[i] = letters[rng.Intn(4)]
+		y[i] = letters[rng.Intn(4)]
+	}
+	return &NW{X: x, Y: y, BlockRows: blockRows, Match: 2, Mismatch: -1, Gap: -1}
+}
+
+// Name implements Workload.
+func (w *NW) Name() string { return "NW" }
+
+// Run implements Workload.
+func (w *NW) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+	l := len(w.X)
+	t := len(placement)
+	cols := l + 1
+	rows := l + 1
+	bands := MakeParts(cols, t) // column bands
+	// Each band's matrix slice lives on its partition DIMM; bands exchange
+	// edge columns, so they are shared read-write.
+	bandBytes := uint64(rows) * 4 // one column of the DP matrix
+	bands.AllocState(sys, "nw.band", bandBytes, mem.SharedRW)
+
+	h := make([][]int32, rows)
+	for i := range h {
+		h[i] = make([]int32, cols)
+		h[i][0] = int32(i) * w.Gap
+	}
+	for j := 0; j < cols; j++ {
+		h[0][j] = int32(j) * w.Gap
+	}
+
+	rb := (rows + w.BlockRows - 1) / w.BlockRows
+	waves := rb + t - 1
+
+	body := func(tid int, c *cores.Ctx) {
+		me := tid
+		cl, ch := bands.Range(me)
+		if cl == 0 {
+			cl = 1 // column 0 is the boundary condition
+		}
+		for wave := 0; wave < waves; wave++ {
+			r := wave - me
+			if r >= 0 && r < rb && ch > cl {
+				rlo := r * w.BlockRows
+				rhi := rlo + w.BlockRows
+				if rhi > rows {
+					rhi = rows
+				}
+				if rlo == 0 {
+					rlo = 1
+				}
+				blockRows := rhi - rlo
+				if blockRows > 0 {
+					// Left edge from the neighboring band (dependent).
+					if me > 0 {
+						nb := bands.Of(cl - 1)
+						nlo, _ := bands.Range(nb)
+						off := uint64(cl-1-nlo)*bandBytes + uint64(rlo)*4
+						c.LoadDep(bands.Seg(nb).Addr(off), uint32(clampU64(uint64(blockRows)*4, 1<<20)))
+					}
+					// Top edge of my own band (previous block row, local).
+					c.Load(bands.Seg(me).Addr(uint64(rlo)*4), uint32(clampU64(uint64(ch-cl)*4, 1<<20)))
+					cells := uint64(blockRows) * uint64(ch-cl)
+					c.Compute(cells * 3)
+					for i := rlo; i < rhi; i++ {
+						for j := cl; j < ch; j++ {
+							s := w.Mismatch
+							if w.X[i-1] == w.Y[j-1] {
+								s = w.Match
+							}
+							best := h[i-1][j-1] + s
+							if v := h[i-1][j] + w.Gap; v > best {
+								best = v
+							}
+							if v := h[i][j-1] + w.Gap; v > best {
+								best = v
+							}
+							h[i][j] = best
+						}
+					}
+					// Store the computed block (local stream).
+					streamStore(c, bands.Seg(me), uint64(rlo)*4, uint64(blockRows)*uint64(ch-cl)*4)
+				}
+			}
+			c.Barrier()
+		}
+	}
+	res := runPlaced(sys, placement, profile, body)
+	return res, uint64(uint32(h[l][l]))<<32 | uint64(uint32(h[l/2][l/2]))
+}
+
+// ReferenceNW computes the alignment score serially.
+func ReferenceNW(x, y []byte, match, mismatch, gap int32) int32 {
+	rows := len(x) + 1
+	cols := len(y) + 1
+	h := make([][]int32, rows)
+	for i := range h {
+		h[i] = make([]int32, cols)
+		h[i][0] = int32(i) * gap
+	}
+	for j := 0; j < cols; j++ {
+		h[0][j] = int32(j) * gap
+	}
+	for i := 1; i < rows; i++ {
+		for j := 1; j < cols; j++ {
+			s := mismatch
+			if x[i-1] == y[j-1] {
+				s = match
+			}
+			best := h[i-1][j-1] + s
+			if v := h[i-1][j] + gap; v > best {
+				best = v
+			}
+			if v := h[i][j-1] + gap; v > best {
+				best = v
+			}
+			h[i][j] = best
+		}
+	}
+	return h[len(x)][len(y)]
+}
