@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/exp"
@@ -30,6 +31,34 @@ func runExperiment(b *testing.B, id string) {
 			b.Fatalf("%s produced no tables", id)
 		}
 	}
+}
+
+// The serial/parallel pair times one full quick-mode regeneration of every
+// registered experiment — the dlbench `-exp all` path — with the job engine
+// pinned to one worker versus fanned across every core:
+//
+//	go test -bench='AllExperiments' -benchtime=1x .
+//
+// The ratio of the two times is the end-to-end speedup of `-jobs N` on this
+// machine; the rendered output is byte-identical either way (see
+// TestParallelSerialEquivalence and internal/exp's determinism test).
+func benchmarkAllExperiments(b *testing.B, jobs int) {
+	opts := exp.DefaultOptions()
+	opts.Jobs = jobs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exp.All() {
+			if len(e.Run(opts)) == 0 {
+				b.Fatalf("%s produced no tables", e.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkAllExperimentsSerial(b *testing.B) { benchmarkAllExperiments(b, 1) }
+
+func BenchmarkAllExperimentsParallel(b *testing.B) {
+	benchmarkAllExperiments(b, runtime.GOMAXPROCS(0))
 }
 
 // Figures.

@@ -1,0 +1,31 @@
+#!/bin/sh
+# ci.sh — the repository's check sequence (ROADMAP tier-1 plus static
+# analysis and the race detector).
+#
+#   ./ci.sh         # vet + race-detector (short mode) + full test suite
+#   ./ci.sh quick   # vet + race-detector (short mode) only
+#
+# The race run uses -short: the slow experiment sweeps (fig10-scale grids,
+# cross-mechanism matrices) guard themselves with testing.Short() so the
+# race detector exercises the job engine, the simulator core and all unit
+# tests without the ~10x race-mode slowdown on multi-minute simulations.
+# The full (non-short, no-race) suite then covers those sweeps at native
+# speed.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race -short ./..."
+go test -race -short ./...
+
+if [ "${1:-}" != "quick" ]; then
+	echo "== go test ./..."
+	go test ./...
+fi
+
+echo "ci: OK"

@@ -6,7 +6,13 @@
 //	dlbench -list
 //	dlbench -exp fig10
 //	dlbench -exp all -full          # paper-scale inputs (slow)
+//	dlbench -exp all -jobs 8        # fan simulations across 8 workers
 //	dlbench -exp fig12 -csv out/    # also dump CSVs
+//
+// Experiments fan their independent simulation jobs across -jobs worker
+// goroutines (default: GOMAXPROCS). Results are reassembled in a fixed
+// serial order, so the rendered tables are byte-identical for any -jobs
+// value given the same -seed.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,11 +29,13 @@ import (
 
 func main() {
 	var (
-		id   = flag.String("exp", "", "experiment id (fig01, fig10..fig17, table1..table5, abl-*) or 'all'")
-		list = flag.Bool("list", false, "list available experiments")
-		full = flag.Bool("full", false, "paper-scale inputs (slower); default is quick mode")
-		seed = flag.Int64("seed", 42, "input generator seed")
-		csv  = flag.String("csv", "", "directory to also write tables as CSV")
+		id    = flag.String("exp", "", "experiment id (fig01, fig10..fig17, table1..table5, abl-*) or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		full  = flag.Bool("full", false, "paper-scale inputs (slower); default is quick mode")
+		seed  = flag.Int64("seed", 42, "input generator seed")
+		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs per experiment")
+		quiet = flag.Bool("q", false, "suppress per-job progress on stderr")
+		csv   = flag.String("csv", "", "directory to also write tables as CSV")
 	)
 	flag.Parse()
 
@@ -41,7 +50,7 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Quick: !*full, Seed: *seed}
+	opts := exp.Options{Quick: !*full, Seed: *seed, Jobs: *jobs}
 	var targets []exp.Experiment
 	if *id == "all" {
 		targets = exp.All()
@@ -56,10 +65,23 @@ func main() {
 		}
 	}
 
+	grandStart := time.Now()
 	for _, e := range targets {
 		start := time.Now()
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
-		tables := e.Run(opts)
+		runOpts := opts
+		if !*quiet {
+			// Per-job progress: one stderr line per completed simulation,
+			// rewritten in place. The callback is serialized by the engine.
+			eid := e.ID
+			runOpts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d jobs", eid, done, total)
+				if done == total {
+					fmt.Fprint(os.Stderr, "\n")
+				}
+			}
+		}
+		tables := e.Run(runOpts)
 		for i, tb := range tables {
 			tb.Render(os.Stdout)
 			fmt.Println()
@@ -78,6 +100,12 @@ func main() {
 				f.Close()
 			}
 		}
-		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		// Timing goes to stderr with the progress lines: stdout carries only
+		// the tables, so redirected output is byte-identical across -jobs.
+		fmt.Fprintf(os.Stderr, "(%s completed in %.1fs)\n", e.ID, time.Since(start).Seconds())
+	}
+	if len(targets) > 1 {
+		fmt.Fprintf(os.Stderr, "(total: %d experiments in %.1fs with %d jobs)\n",
+			len(targets), time.Since(grandStart).Seconds(), opts.Jobs)
 	}
 }

@@ -560,8 +560,11 @@ func (l *Link) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 // hierBarrier: threads -> DIMM master core -> group master DIMM -> global
 // master, then release in reverse (Section III-D).
 func (l *Link) hierBarrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
-	// Level 1: per-DIMM aggregation at the local master core.
-	dimmDone := make(map[int]sim.Time)
+	// Level 1: per-DIMM aggregation at the local master core. Indexed by
+	// DIMM (0 = no thread arrived there) so that level 2 visits masters in
+	// DIMM order: their sync packets contend for shared links, and the
+	// serialization order must not depend on iteration order.
+	dimmDone := make([]sim.Time, len(l.groupOf))
 	for i, a := range arrivals {
 		d := threadDIMM[i]
 		t := a + l.cfg.IntraDIMMSyncCost
@@ -573,6 +576,9 @@ func (l *Link) hierBarrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 	syncWire := wireBytesFor(0)
 	groupDone := make([]sim.Time, len(l.groups))
 	for d, t := range dimmDone {
+		if t == 0 {
+			continue
+		}
 		g := l.groups[l.groupOf[d]]
 		arrive := t
 		if d != g.master {

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRunJobsOrder checks that results land at their job's index no matter
+// how many workers race over the grid.
+func TestRunJobsOrder(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 16} {
+		o := Options{Jobs: jobs}
+		const n = 97
+		out := runJobs(o, n, func(i int) int {
+			runtime.Gosched() // shake up completion order
+			return i * i
+		})
+		if len(out) != n {
+			t.Fatalf("jobs=%d: got %d results, want %d", jobs, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: out[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunJobsProgress checks the Progress callback: serialized, one call per
+// job, with done counting 1..n in order.
+func TestRunJobsProgress(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		var mu sync.Mutex
+		var dones []int
+		o := Options{Jobs: jobs, Progress: func(done, total int) {
+			if total != 10 {
+				t.Errorf("jobs=%d: total = %d, want 10", jobs, total)
+			}
+			mu.Lock()
+			dones = append(dones, done)
+			mu.Unlock()
+		}}
+		runJobs(o, 10, func(i int) int { return i })
+		if len(dones) != 10 {
+			t.Fatalf("jobs=%d: %d progress calls, want 10", jobs, len(dones))
+		}
+		for i, d := range dones {
+			if d != i+1 {
+				t.Fatalf("jobs=%d: progress sequence %v not monotonic", jobs, dones)
+			}
+		}
+	}
+}
+
+// TestRunJobsZero checks the degenerate empty grid.
+func TestRunJobsZero(t *testing.T) {
+	out := runJobs(Options{Jobs: 4}, 0, func(i int) int {
+		t.Fatal("job function called for an empty grid")
+		return 0
+	})
+	if len(out) != 0 {
+		t.Fatalf("got %d results for an empty grid", len(out))
+	}
+}
+
+// TestWorkers checks the Jobs -> worker-count mapping.
+func TestWorkers(t *testing.T) {
+	if got := (Options{Jobs: 3}).workers(); got != 3 {
+		t.Errorf("Jobs=3: workers() = %d", got)
+	}
+	if got := (Options{}).workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Jobs=0: workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestJobSeed pins the (Options.Seed, job index) seed-derivation scheme:
+// stable across calls, sensitive to both inputs, and collision-free over a
+// realistic grid. Changing the mixing function changes every derived stream,
+// so it must be deliberate — update the golden values if you do.
+func TestJobSeed(t *testing.T) {
+	if a, b := jobSeed(42, 7), jobSeed(42, 7); a != b {
+		t.Fatalf("jobSeed not stable: %d vs %d", a, b)
+	}
+	seen := map[int64]bool{}
+	for _, base := range []int64{0, 1, 42, -1} {
+		for idx := 0; idx < 1024; idx++ {
+			s := jobSeed(base, idx)
+			if seen[s] {
+				t.Fatalf("jobSeed collision at base=%d idx=%d", base, idx)
+			}
+			seen[s] = true
+		}
+	}
+	// Golden values: the scheme is part of the reproducibility contract
+	// (EXPERIMENTS.md "Reproducibility"); recorded shuffled-placement
+	// results depend on it.
+	if got := jobSeed(42, 0); got != -4767286540954276203 {
+		t.Errorf("jobSeed(42, 0) = %d; the derivation scheme changed", got)
+	}
+	if got := jobSeed(42, 1); got != 2949826092126892291 {
+		t.Errorf("jobSeed(42, 1) = %d; the derivation scheme changed", got)
+	}
+	if jobSeed(42, 0) == jobSeed(43, 0) {
+		t.Fatal("jobSeed ignores the base seed")
+	}
+}

@@ -1,8 +1,10 @@
 // Package exp is the experiment harness: one runner per table and figure
 // of the paper's evaluation (see DESIGN.md §4 for the index). Each runner
 // builds fresh systems, executes the workloads, and renders the same rows
-// or series the paper reports. cmd/dlbench and the repository-level
-// benchmarks are thin wrappers around this package.
+// or series the paper reports. Runners decompose their grids into
+// independent jobs executed by the worker pool in engine.go; cmd/dlbench
+// and the repository-level benchmarks are thin wrappers around this
+// package.
 package exp
 
 import (
@@ -16,15 +18,26 @@ import (
 	"repro/internal/workloads"
 )
 
-// Options tunes experiment scale. Quick (the default) runs laptop-sized
-// inputs suitable for tests and benchmarks; Full approaches the paper's
-// input sizes.
+// Options tunes experiment scale and execution. Quick (the default) runs
+// laptop-sized inputs suitable for tests and benchmarks; Full approaches
+// the paper's input sizes.
 type Options struct {
 	Quick bool
 	Seed  int64
+
+	// Jobs is the worker-pool width for the experiment grid: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces serial execution. Rendered tables
+	// are bit-identical for every value (see engine.go).
+	Jobs int
+
+	// Progress, when non-nil, is invoked after each simulation job
+	// completes with the number of finished jobs and the batch total.
+	// Invocations are serialized by the engine.
+	Progress func(done, total int)
 }
 
-// DefaultOptions returns quick-mode options.
+// DefaultOptions returns quick-mode options (seed 42, pool width
+// GOMAXPROCS).
 func DefaultOptions() Options { return Options{Quick: true, Seed: 42} }
 
 // scaleFor returns workload sizing.
@@ -86,14 +99,7 @@ type Experiment struct {
 
 var registry []Experiment
 
-func register(e Experiment) {
-	run := e.Run
-	e.Run = func(o Options) []*stats.Table {
-		executeOpts = o
-		return run(o)
-	}
-	registry = append(registry, e)
-}
+func register(e Experiment) { registry = append(registry, e) }
 
 // All returns every experiment, sorted by ID.
 func All() []Experiment {
@@ -135,18 +141,15 @@ type runOut struct {
 	checksum uint64
 }
 
-// executeOpts carries the Options into execute without threading a
-// parameter through every reporter; set once per experiment Run.
-var executeOpts = DefaultOptions()
-
 // execute builds a fresh system, applies tweak (may be nil), runs the
 // workload with the given placement (nil selects the default), and returns
-// everything the reporters need.
-func execute(w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
+// everything the reporters need. It is safe to call from concurrent jobs:
+// every run owns its entire object graph and o is passed by value.
+func execute(o Options, w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
 	tweak func(*nmp.Config), place []int, profile bool) runOut {
 
 	c := nmp.DefaultConfig(cfg.dimms, cfg.channels, mech)
-	executeOpts.tune(&c)
+	o.tune(&c)
 	if tweak != nil {
 		tweak(&c)
 	}
@@ -167,30 +170,42 @@ func execute(w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
 // optimized placement, and a fresh system re-runs with it. The returned
 // total charges the profiling phase at 1% of the unoptimized runtime (the
 // paper profiles the first 1% of memory accesses; its measured end-to-end
-// overhead is 2-9%), plus the optimized kernel.
-func runDLOpt(w workloads.Workload, cfg sysConfig, tweak func(*nmp.Config)) (total sim.Time, opt, base runOut) {
-	base = execute(w, nmp.MechDIMMLink, cfg, tweak, nil, true)
+// overhead is 2-9%), plus the optimized kernel. The two runs inside are
+// inherently sequential, so the pair always forms a single job.
+func runDLOpt(o Options, w workloads.Workload, cfg sysConfig, tweak func(*nmp.Config)) (total sim.Time, opt, base runOut) {
+	base = execute(o, w, nmp.MechDIMMLink, cfg, tweak, nil, true)
 	perDIMM := base.sys.Cfg.CoresPerDIMM
 	place, err := placement.Optimize(base.res.Profile, base.sys.Link.Distance, perDIMM)
 	if err != nil {
 		panic(fmt.Sprintf("exp: placement failed: %v", err))
 	}
-	opt = execute(w, nmp.MechDIMMLink, cfg, tweak, place, false)
+	opt = execute(o, w, nmp.MechDIMMLink, cfg, tweak, place, false)
 	profileCost := base.res.Makespan / 100
 	return opt.res.Makespan + profileCost, opt, base
 }
 
-// p2pSuite builds the six Table IV workloads at the given sizing. Graph
-// workloads use the Community generator (the LiveJournal substitution:
-// modular structure, near-uniform degrees).
-func p2pSuite(s sizing, seed int64) []workloads.Workload {
-	return []workloads.Workload{
-		workloads.NewBFSFromGraph(workloads.Community(s.graphScale, s.edgeFactor, seed)),
-		workloads.NewHotspot(s.hsRows, s.hsRows, s.hsIters),
-		workloads.NewKMeans(s.kmPoints, s.kmDims, s.kmK, s.kmIters, seed),
-		workloads.NewNW(s.nwLen, s.nwBlock, seed),
-		workloads.NewPageRankFromGraph(workloads.Community(s.graphScale, s.edgeFactor, seed+1), s.prIters),
-		workloads.NewSSSPFromGraph(workloads.Community(s.graphScale, s.edgeFactor, seed+2)),
+// p2pBuilders returns lazy constructors for the six Table IV workloads at
+// the given sizing, in suite order. Graph workloads use the Community
+// generator (the LiveJournal substitution: modular structure, near-uniform
+// degrees). Each parallel job invokes a builder to get its own private
+// workload instance; seeds are a pure function of the experiment seed and
+// the suite position, so concurrent jobs never share generator state.
+func p2pBuilders(s sizing, seed int64) []func() workloads.Workload {
+	return []func() workloads.Workload{
+		func() workloads.Workload {
+			return workloads.NewBFSFromGraph(workloads.Community(s.graphScale, s.edgeFactor, seed))
+		},
+		func() workloads.Workload { return workloads.NewHotspot(s.hsRows, s.hsRows, s.hsIters) },
+		func() workloads.Workload {
+			return workloads.NewKMeans(s.kmPoints, s.kmDims, s.kmK, s.kmIters, seed)
+		},
+		func() workloads.Workload { return workloads.NewNW(s.nwLen, s.nwBlock, seed) },
+		func() workloads.Workload {
+			return workloads.NewPageRankFromGraph(workloads.Community(s.graphScale, s.edgeFactor, seed+1), s.prIters)
+		},
+		func() workloads.Workload {
+			return workloads.NewSSSPFromGraph(workloads.Community(s.graphScale, s.edgeFactor, seed+2))
+		},
 	}
 }
 

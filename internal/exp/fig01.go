@@ -19,25 +19,28 @@ func init() {
 // runFig01 regenerates the UPMEM measurement of Figure 1 on the simulated
 // MCN-style (CPU-forwarding) system: point-to-point IDC bandwidth as a
 // function of transfer size, and the aggregate-NMP versus aggregate-IDC
-// bandwidth gap on the 16-DIMM system.
+// bandwidth gap on the 16-DIMM system. One job per transfer size.
 func runFig01(o Options) []*stats.Table {
 	cfg := sysConfig{"16D-8C", 16, 8}
-	curve := stats.NewTable("Figure 1(a) — P2P IDC bandwidth vs transfer size (CPU forwarding)",
-		"transfer", "bandwidth-GB/s")
 	sizes := []uint32{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 	total := uint64(1 << 22)
 	if o.Quick {
 		total = 1 << 21
 	}
+	gbps := runJobs(o, len(sizes), func(i int) float64 {
+		b := &workloads.P2PBench{SrcDIMM: 0, DstDIMM: 15, TransferBytes: sizes[i], TotalBytes: total}
+		out := execute(o, b, nmp.MechMCN, cfg, nil, nil, false)
+		return float64(out.checksum) / 1000 // checksum is MB/s
+	})
+
+	curve := stats.NewTable("Figure 1(a) — P2P IDC bandwidth vs transfer size (CPU forwarding)",
+		"transfer", "bandwidth-GB/s")
 	var peak float64
-	for _, sz := range sizes {
-		b := &workloads.P2PBench{SrcDIMM: 0, DstDIMM: 15, TransferBytes: sz, TotalBytes: total}
-		out := execute(b, nmp.MechMCN, cfg, nil, nil, false)
-		gbps := float64(out.checksum) / 1000 // checksum is MB/s
-		if gbps > peak {
-			peak = gbps
+	for i, sz := range sizes {
+		if gbps[i] > peak {
+			peak = gbps[i]
 		}
-		curve.AddRow(fmtBytes(sz), stats.FormatFloat(gbps))
+		curve.AddRow(fmtBytes(sz), stats.FormatFloat(gbps[i]))
 	}
 
 	agg := stats.NewTable("Figure 1(b) — aggregate bandwidth on the 16-DIMM system (paper: 1.28 TB/s NMP vs ~25 GB/s IDC, 51x)",

@@ -3,6 +3,7 @@ package exp
 import (
 	"repro/internal/idc"
 	"repro/internal/nmp"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -27,36 +28,78 @@ type fig10Row struct {
 	idcRatio map[string]float64 // mechanism -> non-overlapped IDC cycle ratio
 }
 
+// fig10Out is one grid job's result. Kind 0 carries the host-CPU baseline,
+// kinds 1-2 the MCN/AIM runs in out, and kind 3 the DL-base run in out
+// plus the optimized rerun in opt (the pair is one job: the optimized run
+// consumes the profiled run's traffic matrix).
+type fig10Out struct {
+	name     string
+	out      runOut
+	opt      runOut
+	optTotal sim.Time
+}
+
+// fig10Kinds is the per-cell job layout of the Figure 10 grid.
+const fig10Kinds = 4
+
 // fig10Measure runs the full mechanism sweep for every config/workload and
-// is shared by Figures 10, 11 and 13.
+// is shared by Figures 10, 11 and 13. The grid fans out as one job per
+// (config, workload, mechanism) simulation; rows are assembled — and
+// collect invoked — strictly in the serial visiting order, so output is
+// independent of scheduling.
 func fig10Measure(o Options, configs []sysConfig, collect func(cfg sysConfig, wlName, mech string, out runOut)) []fig10Row {
-	executeOpts = o
+	builders := p2pBuilders(o.sizes(), o.Seed)
+	nW := len(builders)
+	outs := runJobs(o, len(configs)*nW*fig10Kinds, func(i int) fig10Out {
+		cfg := configs[i/(nW*fig10Kinds)]
+		w := builders[(i/fig10Kinds)%nW]()
+		r := fig10Out{name: w.Name()}
+		switch i % fig10Kinds {
+		case 0:
+			r.out = execute(o, w, nmp.MechHostCPU, cfg, nil, nil, false)
+		case 1:
+			r.out = execute(o, w, nmp.MechMCN, cfg, nil, nil, false)
+		case 2:
+			r.out = execute(o, w, nmp.MechAIM, cfg, nil, nil, false)
+		case 3:
+			r.optTotal, r.opt, r.out = runDLOpt(o, w, cfg, nil)
+		}
+		if collect == nil {
+			// The timing tables below never look at the systems; dropping
+			// them lets each job's memory be reclaimed before the whole
+			// grid finishes.
+			r.out.sys, r.opt.sys = nil, nil
+		}
+		return r
+	})
+
 	var rows []fig10Row
-	for _, cfg := range configs {
-		for _, w := range p2pSuite(o.sizes(), o.Seed) {
-			row := fig10Row{cfg: cfg, workload: w.Name(),
+	for ci, cfg := range configs {
+		for wi := 0; wi < nW; wi++ {
+			cell := (ci*nW + wi) * fig10Kinds
+			cpu, mcn, aim, dl := outs[cell], outs[cell+1], outs[cell+2], outs[cell+3]
+			row := fig10Row{cfg: cfg, workload: cpu.name,
 				speedups: map[string]float64{}, idcRatio: map[string]float64{}}
+			base := cpu.out.res.Makespan
 
-			cpu := execute(w, nmp.MechHostCPU, cfg, nil, nil, false)
-			base := cpu.res.Makespan
-
-			for _, mech := range []nmp.Mechanism{nmp.MechMCN, nmp.MechAIM} {
-				out := execute(w, mech, cfg, nil, nil, false)
-				row.speedups[string(mech)] = speedup(base, out.res.Makespan)
-				row.idcRatio[string(mech)] = out.res.IDCStallRatio()
+			for _, m := range []struct {
+				mech string
+				out  runOut
+			}{{"mcn", mcn.out}, {"aim", aim.out}} {
+				row.speedups[m.mech] = speedup(base, m.out.res.Makespan)
+				row.idcRatio[m.mech] = m.out.res.IDCStallRatio()
 				if collect != nil {
-					collect(cfg, w.Name(), string(mech), out)
+					collect(cfg, cpu.name, m.mech, m.out)
 				}
 			}
-			optTotal, opt, dlBase := runDLOpt(w, cfg, nil)
-			row.speedups["dl-base"] = speedup(base, dlBase.res.Makespan)
-			row.idcRatio["dl-base"] = dlBase.res.IDCStallRatio()
-			row.speedups["dl-opt"] = speedup(base, optTotal)
-			row.idcRatio["dl-opt"] = opt.res.IDCStallRatio()
+			row.speedups["dl-base"] = speedup(base, dl.out.res.Makespan)
+			row.idcRatio["dl-base"] = dl.out.res.IDCStallRatio()
+			row.speedups["dl-opt"] = speedup(base, dl.optTotal)
+			row.idcRatio["dl-opt"] = dl.opt.res.IDCStallRatio()
 			if collect != nil {
-				collect(cfg, w.Name(), "dl-base", dlBase)
-				collect(cfg, w.Name(), "dl-opt", opt)
-				collect(cfg, w.Name(), "host-cpu", cpu)
+				collect(cfg, cpu.name, "dl-base", dl.out)
+				collect(cfg, cpu.name, "dl-opt", dl.opt)
+				collect(cfg, cpu.name, "host-cpu", cpu.out)
 			}
 			rows = append(rows, row)
 		}
@@ -95,29 +138,43 @@ func runFig10(o Options) []*stats.Table {
 
 // runFig11 reports where DIMM-Link-opt's bytes travel: local DRAM,
 // DIMM-Link transfers, or CPU-forwarded (the paper: only ~29% of total IDC
-// traffic crosses the host).
+// traffic crosses the host). One job per workload; each job extracts the
+// three byte counters so the systems are not retained.
 func runFig11(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	builders := p2pBuilders(o.sizes(), o.Seed)
+	type fig11Out struct {
+		name               string
+		local, remote, fwd float64
+	}
+	outs := runJobs(o, len(builders), func(i int) fig11Out {
+		w := builders[i]()
+		_, opt, _ := runDLOpt(o, w, cfg, nil)
+		return fig11Out{
+			name:   w.Name(),
+			local:  float64(opt.sys.Ctrs.Get("bytes.local")),
+			remote: float64(opt.sys.Ctrs.Get("bytes.remote")),
+			fwd:    float64(opt.sys.Host().Counters.Get(idc.CtrFwdedBytes)),
+		}
+	})
+
 	tb := stats.NewTable("Figure 11 — DIMM-Link-opt data transfer breakdown (%)",
 		"workload", "local", "dimm-link", "cpu-forwarded", "fwd-share-of-remote")
-	cfg := sysConfig{"16D-8C", 16, 8}
-	for _, w := range p2pSuite(o.sizes(), o.Seed) {
-		_, opt, _ := runDLOpt(w, cfg, nil)
-		local := float64(opt.sys.Ctrs.Get("bytes.local"))
-		remote := float64(opt.sys.Ctrs.Get("bytes.remote"))
-		fwd := float64(opt.sys.Host().Counters.Get(idc.CtrFwdedBytes))
-		if fwd > remote {
-			fwd = remote
+	for _, r := range outs {
+		fwd := r.fwd
+		if fwd > r.remote {
+			fwd = r.remote
 		}
-		linkLocal := remote - fwd
-		total := local + remote
+		linkLocal := r.remote - fwd
+		total := r.local + r.remote
 		if total == 0 {
 			continue
 		}
 		fwdShare := 0.0
-		if remote > 0 {
-			fwdShare = 100 * fwd / remote
+		if r.remote > 0 {
+			fwdShare = 100 * fwd / r.remote
 		}
-		tb.Addf(w.Name(), 100*local/total, 100*linkLocal/total, 100*fwd/total, fwdShare)
+		tb.Addf(r.name, 100*r.local/total, 100*linkLocal/total, 100*fwd/total, fwdShare)
 	}
 	return []*stats.Table{tb}
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"repro/internal/nmp"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -14,16 +15,29 @@ func init() {
 	})
 }
 
-// bcSuite builds the three broadcast-manner workloads of Figure 12.
-func bcSuite(s sizing, seed int64) []workloads.Workload {
-	pr := workloads.NewPageRank(s.graphScale, s.prIters, seed+1)
-	pr.Broadcast = true
-	ss := workloads.NewSSSP(s.graphScale, seed+2)
-	ss.Broadcast = true
-	sp := workloads.NewSpMV(s.graphScale, s.prIters, seed+3)
-	sp.Broadcast = true
-	return []workloads.Workload{pr, ss, sp}
+// bcBuilders returns lazy constructors for the three broadcast-manner
+// workloads of Figure 12, in suite order.
+func bcBuilders(s sizing, seed int64) []func() workloads.Workload {
+	return []func() workloads.Workload{
+		func() workloads.Workload {
+			pr := workloads.NewPageRank(s.graphScale, s.prIters, seed+1)
+			pr.Broadcast = true
+			return pr
+		},
+		func() workloads.Workload {
+			ss := workloads.NewSSSP(s.graphScale, seed+2)
+			ss.Broadcast = true
+			return ss
+		},
+		func() workloads.Workload {
+			sp := workloads.NewSpMV(s.graphScale, s.prIters, seed+3)
+			sp.Broadcast = true
+			return sp
+		},
+	}
 }
+
+var fig12Mechs = []nmp.Mechanism{nmp.MechMCN, nmp.MechABCDIMM, nmp.MechDIMMLink, nmp.MechAIM}
 
 func runFig12(o Options) []*stats.Table {
 	// Practical DPC configurations: ABC-DIMM's broadcast reach is the
@@ -32,24 +46,35 @@ func runFig12(o Options) []*stats.Table {
 		{"8D-4C (2DPC)", 8, 4},
 		{"12D-4C (3DPC)", 12, 4},
 	}
+	builders := bcBuilders(o.sizes(), o.Seed)
+	nW, nM := len(builders), len(fig12Mechs)
+
+	type fig12Out struct {
+		name     string
+		makespan sim.Time
+	}
+	outs := runJobs(o, len(configs)*nW*nM, func(i int) fig12Out {
+		cfg := configs[i/(nW*nM)]
+		w := builders[(i/nM)%nW]()
+		out := execute(o, w, fig12Mechs[i%nM], cfg, nil, nil, false)
+		return fig12Out{name: w.Name(), makespan: out.res.Makespan}
+	})
+
 	tb := stats.NewTable("Figure 12 — broadcast speedup over MCN-BC (paper: DL 2.58x vs MCN-BC, 1.77x vs ABC-DIMM; AIM-BC wins)",
 		"config", "workload", "mcn-bc", "abc-dimm", "dimm-link", "aim-bc")
 	ratios := map[string][]float64{}
-	for _, cfg := range configs {
-		for _, w := range bcSuite(o.sizes(), o.Seed) {
-			mcn := execute(w, nmp.MechMCN, cfg, nil, nil, false)
-			abc := execute(w, nmp.MechABCDIMM, cfg, nil, nil, false)
-			dl := execute(w, nmp.MechDIMMLink, cfg, nil, nil, false)
-			aim := execute(w, nmp.MechAIM, cfg, nil, nil, false)
-			base := mcn.res.Makespan
-			tb.Addf(cfg.name, w.Name(),
+	for ci, cfg := range configs {
+		for wi := 0; wi < nW; wi++ {
+			cell := (ci*nW + wi) * nM
+			mcn, abc, dl, aim := outs[cell].makespan, outs[cell+1].makespan, outs[cell+2].makespan, outs[cell+3].makespan
+			tb.Addf(cfg.name, outs[cell].name,
 				1.0,
-				speedup(base, abc.res.Makespan),
-				speedup(base, dl.res.Makespan),
-				speedup(base, aim.res.Makespan))
-			ratios["dl-vs-mcn"] = append(ratios["dl-vs-mcn"], speedup(base, dl.res.Makespan))
-			ratios["dl-vs-abc"] = append(ratios["dl-vs-abc"], float64(abc.res.Makespan)/float64(dl.res.Makespan))
-			ratios["aim-vs-dl"] = append(ratios["aim-vs-dl"], float64(dl.res.Makespan)/float64(aim.res.Makespan))
+				speedup(mcn, abc),
+				speedup(mcn, dl),
+				speedup(mcn, aim))
+			ratios["dl-vs-mcn"] = append(ratios["dl-vs-mcn"], speedup(mcn, dl))
+			ratios["dl-vs-abc"] = append(ratios["dl-vs-abc"], float64(abc)/float64(dl))
+			ratios["aim-vs-dl"] = append(ratios["aim-vs-dl"], float64(dl)/float64(aim))
 		}
 	}
 	sum := stats.NewTable("Figure 12 — geomeans", "ratio", "value", "paper")

@@ -14,6 +14,10 @@ func init() {
 	})
 }
 
+// runFig13 prices each mechanism's run with the paper's energy model. The
+// measurement grid is fig10Measure's parallel job fan-out; energy is
+// computed in the collect callback, which the engine invokes strictly in
+// serial grid order, so rows land deterministically.
 func runFig13(o Options) []*stats.Table {
 	params := energy.PaperParams()
 	tb := stats.NewTable("Figure 13 — energy (J) on 16D-8C, by mechanism (DRAM / IDC / cores)",

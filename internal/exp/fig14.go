@@ -3,6 +3,7 @@ package exp
 import (
 	"repro/internal/core"
 	"repro/internal/nmp"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -20,31 +21,54 @@ func runFig14(o Options) []*stats.Table {
 	central := func(c *nmp.Config) { c.DL.Sync = core.SyncCentralized }
 
 	// (a) Sync-interval sweep: MCN, AIM, DIMM-Link-Central, DIMM-Link-Hier.
-	sweep := stats.NewTable("Figure 14(a) — speedup over MCN vs synchronization interval (paper @500: DL-Hier 5.3x vs MCN, 2.2x vs AIM)",
-		"interval-instr", "mcn", "aim", "dl-central", "dl-hier")
+	// One job per (interval, variant) cell.
 	rounds := 40
 	if o.Quick {
 		rounds = 15
 	}
-	for _, interval := range []uint64{50000, 5000, 500} {
-		sb := &workloads.SyncBench{Interval: interval, Rounds: rounds}
-		mcn := execute(sb, nmp.MechMCN, cfg, nil, nil, false).res.Makespan
-		aim := execute(sb, nmp.MechAIM, cfg, nil, nil, false).res.Makespan
-		dlc := execute(sb, nmp.MechDIMMLink, cfg, central, nil, false).res.Makespan
-		dlh := execute(sb, nmp.MechDIMMLink, cfg, nil, nil, false).res.Makespan
+	intervals := []uint64{50000, 5000, 500}
+	const nV = 4 // mcn, aim, dl-central, dl-hier
+	sweepOuts := runJobs(o, len(intervals)*nV, func(i int) sim.Time {
+		sb := &workloads.SyncBench{Interval: intervals[i/nV], Rounds: rounds}
+		switch i % nV {
+		case 0:
+			return execute(o, sb, nmp.MechMCN, cfg, nil, nil, false).res.Makespan
+		case 1:
+			return execute(o, sb, nmp.MechAIM, cfg, nil, nil, false).res.Makespan
+		case 2:
+			return execute(o, sb, nmp.MechDIMMLink, cfg, central, nil, false).res.Makespan
+		default:
+			return execute(o, sb, nmp.MechDIMMLink, cfg, nil, nil, false).res.Makespan
+		}
+	})
+	sweep := stats.NewTable("Figure 14(a) — speedup over MCN vs synchronization interval (paper @500: DL-Hier 5.3x vs MCN, 2.2x vs AIM)",
+		"interval-instr", "mcn", "aim", "dl-central", "dl-hier")
+	for ii, interval := range intervals {
+		mcn, aim, dlc, dlh := sweepOuts[ii*nV], sweepOuts[ii*nV+1], sweepOuts[ii*nV+2], sweepOuts[ii*nV+3]
 		sweep.Addf(interval, 1.0, speedup(mcn, aim), speedup(mcn, dlc), speedup(mcn, dlh))
 	}
 
 	// (b) TS.Pow end-to-end across system sizes (paper: DL-Hier 1.46-1.74x
-	// over MCN).
+	// over MCN). One job per (config, variant) cell.
 	s := o.sizes()
+	configs := p2pConfigs()
+	const nE = 3 // mcn, dl-hier, dl-central
+	e2eOuts := runJobs(o, len(configs)*nE, func(i int) sim.Time {
+		c := configs[i/nE]
+		ts := workloads.NewTSPow(s.tsLen, 64, s.tsChunk, o.Seed)
+		switch i % nE {
+		case 0:
+			return execute(o, ts, nmp.MechMCN, c, nil, nil, false).res.Makespan
+		case 1:
+			return execute(o, ts, nmp.MechDIMMLink, c, nil, nil, false).res.Makespan
+		default:
+			return execute(o, ts, nmp.MechDIMMLink, c, central, nil, false).res.Makespan
+		}
+	})
 	e2e := stats.NewTable("Figure 14(b) — TS.Pow end-to-end speedup over MCN",
 		"config", "dl-hier-vs-mcn", "dl-central-vs-mcn")
-	for _, c := range p2pConfigs() {
-		ts := workloads.NewTSPow(s.tsLen, 64, s.tsChunk, o.Seed)
-		mcn := execute(ts, nmp.MechMCN, c, nil, nil, false).res.Makespan
-		dlh := execute(ts, nmp.MechDIMMLink, c, nil, nil, false).res.Makespan
-		dlc := execute(ts, nmp.MechDIMMLink, c, central, nil, false).res.Makespan
+	for ci, c := range configs {
+		mcn, dlh, dlc := e2eOuts[ci*nE], e2eOuts[ci*nE+1], e2eOuts[ci*nE+2]
 		e2e.Addf(c.name, speedup(mcn, dlh), speedup(mcn, dlc))
 	}
 	return []*stats.Table{sweep, e2e}

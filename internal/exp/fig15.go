@@ -3,6 +3,7 @@ package exp
 import (
 	"repro/internal/host"
 	"repro/internal/nmp"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -25,30 +26,43 @@ func runFig15(o Options) []*stats.Table {
 		{"P-P", host.ProxyPolling},
 		{"P-P+Itrpt", host.ProxyInterrupt},
 	}
+	// Two representative workloads keep the sweep affordable; Figure 15
+	// uses the same suite as Figure 10. One job per (workload, mode) cell.
+	builders := p2pBuilders(o.sizes(), o.Seed)
+	if o.Quick {
+		builders = builders[:3] // BFS, HS, KM
+	}
+	type fig15Out struct {
+		name       string
+		makespan   sim.Time
+		occupation float64
+	}
+	nM := len(modes)
+	outs := runJobs(o, len(builders)*nM, func(i int) fig15Out {
+		w := builders[i/nM]()
+		mode := modes[i%nM].mode
+		out := execute(o, w, nmp.MechDIMMLink, cfg,
+			func(c *nmp.Config) { c.Host.Mode = mode }, nil, false)
+		return fig15Out{
+			name:       w.Name(),
+			makespan:   out.res.Makespan,
+			occupation: out.sys.Host().BusOccupation(out.res.Makespan),
+		}
+	})
+
 	perf := stats.NewTable("Figure 15(a) — end-to-end speedup over Base polling (DIMM-Link, 16D-8C)",
 		"workload", "Base", "Base+Itrpt", "P-P", "P-P+Itrpt")
 	occ := stats.NewTable("Figure 15(b) — memory bus occupation % (paper: Base 32%, P-P+Itrpt 0.2%)",
 		"workload", "Base", "Base+Itrpt", "P-P", "P-P+Itrpt")
-	// Two representative workloads keep the sweep affordable; Figure 15
-	// uses the same suite as Figure 10.
-	suite := p2pSuite(o.sizes(), o.Seed)
-	if o.Quick {
-		suite = suite[:3] // BFS, HS, KM
-	}
-	for _, w := range suite {
-		perfRow := []interface{}{w.Name()}
-		occRow := []interface{}{w.Name()}
-		var baseTime float64
-		for i, m := range modes {
-			mode := m.mode
-			out := execute(w, nmp.MechDIMMLink, cfg,
-				func(c *nmp.Config) { c.Host.Mode = mode }, nil, false)
-			t := float64(out.res.Makespan)
-			if i == 0 {
-				baseTime = t
-			}
-			perfRow = append(perfRow, baseTime/t)
-			occRow = append(occRow, 100*out.sys.Host().BusOccupation(out.res.Makespan))
+	for wi := range builders {
+		cell := wi * nM
+		perfRow := []interface{}{outs[cell].name}
+		occRow := []interface{}{outs[cell].name}
+		baseTime := float64(outs[cell].makespan)
+		for mi := range modes {
+			r := outs[cell+mi]
+			perfRow = append(perfRow, baseTime/float64(r.makespan))
+			occRow = append(occRow, 100*r.occupation)
 		}
 		perf.Addf(perfRow...)
 		occ.Addf(occRow...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/nmp"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -18,49 +19,52 @@ func init() {
 
 func runFig16(o Options) []*stats.Table {
 	bws := []float64{4e9, 8e9, 16e9, 25e9, 32e9, 64e9}
-	suite := p2pSuite(o.sizes(), o.Seed)
+	builders := p2pBuilders(o.sizes(), o.Seed)
 	configs := p2pConfigs()
 	if o.Quick {
 		configs = []sysConfig{configs[0], configs[len(configs)-1]}
 	}
+	// Row layout per config: the suite workloads followed by a purely
+	// link-bound STREAM row that exposes the raw bandwidth scaling the
+	// end-to-end workloads dilute (at this input scale their IDC time is
+	// latency- and forwarding-dominated; the paper's 100x larger inputs
+	// put the full workloads in this regime too). One job per
+	// (config, row, bandwidth) simulation across all configs at once.
+	nRows := len(builders) + 1
+	nBW := len(bws)
+	type fig16Out struct {
+		name     string
+		makespan sim.Time
+	}
+	outs := runJobs(o, len(configs)*nRows*nBW, func(i int) fig16Out {
+		cfg := configs[i/(nRows*nBW)]
+		row := (i / nBW) % nRows
+		bw := bws[i%nBW]
+		tweak := func(c *nmp.Config) { c.DL.Link.BytesPerSec = bw }
+		if row == len(builders) {
+			b := &workloads.AllPairsBench{TransferBytes: 4096, TotalBytes: 1 << 21}
+			out := execute(o, b, nmp.MechDIMMLink, cfg, tweak, nil, false)
+			return fig16Out{name: "STREAM", makespan: out.res.Makespan}
+		}
+		w := builders[row]()
+		out := execute(o, w, nmp.MechDIMMLink, cfg, tweak, nil, false)
+		return fig16Out{name: w.Name(), makespan: out.res.Makespan}
+	})
+
 	var tables []*stats.Table
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
 		tb := stats.NewTable(
 			fmt.Sprintf("Figure 16 — %s: speedup over the 4 GB/s link as bandwidth grows", cfg.name),
 			"workload", "4GB/s", "8GB/s", "16GB/s", "25GB/s", "32GB/s", "64GB/s")
-		for _, w := range suite {
-			row := []interface{}{w.Name()}
-			var base float64
-			for i, bw := range bws {
-				bw := bw
-				out := execute(w, nmp.MechDIMMLink, cfg,
-					func(c *nmp.Config) { c.DL.Link.BytesPerSec = bw }, nil, false)
-				t := float64(out.res.Makespan)
-				if i == 0 {
-					base = t
-				}
-				row = append(row, base/t)
+		for ri := 0; ri < nRows; ri++ {
+			cell := (ci*nRows + ri) * nBW
+			row := []interface{}{outs[cell].name}
+			base := float64(outs[cell].makespan)
+			for bi := 0; bi < nBW; bi++ {
+				row = append(row, base/float64(outs[cell+bi].makespan))
 			}
 			tb.Addf(row...)
 		}
-		// A purely link-bound stream exposes the raw bandwidth scaling the
-		// end-to-end workloads dilute (at this input scale their IDC time is
-		// latency- and forwarding-dominated; the paper's 100x larger inputs
-		// put the full workloads in this regime too).
-		streamRow := []interface{}{"STREAM"}
-		var streamBase float64
-		for i, bw := range bws {
-			bw := bw
-			b := &workloads.AllPairsBench{TransferBytes: 4096, TotalBytes: 1 << 21}
-			out := execute(b, nmp.MechDIMMLink, cfg,
-				func(c *nmp.Config) { c.DL.Link.BytesPerSec = bw }, nil, false)
-			t := float64(out.res.Makespan)
-			if i == 0 {
-				streamBase = t
-			}
-			streamRow = append(streamRow, streamBase/t)
-		}
-		tb.Addf(streamRow...)
 		tables = append(tables, tb)
 	}
 	return tables

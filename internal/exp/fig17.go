@@ -3,6 +3,7 @@ package exp
 import (
 	"repro/internal/core"
 	"repro/internal/nmp"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -17,22 +18,32 @@ func init() {
 func runFig17(o Options) []*stats.Table {
 	cfg := sysConfig{"16D-8C", 16, 8}
 	topos := []core.TopologyKind{core.TopoChain, core.TopoRing, core.TopoMesh, core.TopoTorus}
+	builders := p2pBuilders(o.sizes(), o.Seed)
+	nT := len(topos)
+
+	type fig17Out struct {
+		name     string
+		makespan sim.Time
+	}
+	outs := runJobs(o, len(builders)*nT, func(i int) fig17Out {
+		w := builders[i/nT]()
+		topo := topos[i%nT]
+		out := execute(o, w, nmp.MechDIMMLink, cfg,
+			func(c *nmp.Config) { c.DL.Topology = topo }, nil, false)
+		return fig17Out{name: w.Name(), makespan: out.res.Makespan}
+	})
+
 	tb := stats.NewTable("Figure 17 — P2P speedup over the chain topology (paper: ring 1.11x, mesh 1.19x, torus 1.27x)",
 		"workload", "chain", "ring", "mesh", "torus")
 	per := map[core.TopologyKind][]float64{}
-	for _, w := range p2pSuite(o.sizes(), o.Seed) {
-		row := []interface{}{w.Name()}
-		var base float64
-		for i, topo := range topos {
-			topo := topo
-			out := execute(w, nmp.MechDIMMLink, cfg,
-				func(c *nmp.Config) { c.DL.Topology = topo }, nil, false)
-			t := float64(out.res.Makespan)
-			if i == 0 {
-				base = t
-			}
-			row = append(row, base/t)
-			per[topo] = append(per[topo], base/t)
+	for wi := range builders {
+		cell := wi * nT
+		row := []interface{}{outs[cell].name}
+		base := float64(outs[cell].makespan)
+		for ti, topo := range topos {
+			v := base / float64(outs[cell+ti].makespan)
+			row = append(row, v)
+			per[topo] = append(per[topo], v)
 		}
 		tb.Addf(row...)
 	}

@@ -44,20 +44,21 @@ func runTable1(o Options) []*stats.Table {
 	}
 	tb := stats.NewTable("Table I — aggregate P2P IDC bandwidth over 4 disjoint adjacent pairs, 8 DIMMs / 4 channels (beta = 25.6 GB/s)",
 		"mechanism", "formula", "formula-GB/s", "measured-GB/s")
-	measure := func(mech nmp.Mechanism) float64 {
+	mechs := []nmp.Mechanism{nmp.MechMCN, nmp.MechAIM, nmp.MechDIMMLink}
+	measured := runJobs(o, len(mechs), func(i int) float64 {
 		w := &workloads.AllPairsBench{TransferBytes: 4096, TotalBytes: total}
-		out := execute(w, mech, cfg, nil, nil, false)
+		out := execute(o, w, mechs[i], cfg, nil, nil, false)
 		return float64(out.checksum) / 1000
-	}
+	})
 	beta := 25.6
 	// The formulas are Table I's theoretical ceilings; measured values sit
 	// below them for the same reasons the paper's Figure 1 measures only
 	// 3.14 GB/s on real CPU-forwarding hardware (software copy costs,
 	// polling, protocol overheads).
-	tb.Addf("cpu-forwarding (MCN)", "#Channel x beta/2", 4*beta/2, measure(nmp.MechMCN))
-	tb.Addf("dedicated bus (AIM)", "beta (shared)", beta, measure(nmp.MechAIM))
+	tb.Addf("cpu-forwarding (MCN)", "#Channel x beta/2", 4*beta/2, measured[0])
+	tb.Addf("dedicated bus (AIM)", "beta (shared)", beta, measured[1])
 	// 4 disjoint pairs -> 4 links active concurrently.
-	tb.Addf("DIMM-Link", "#Link x beta", 4*25.0, measure(nmp.MechDIMMLink))
+	tb.Addf("DIMM-Link", "#Link x beta", 4*25.0, measured[2])
 	return []*stats.Table{tb}
 }
 

@@ -1,0 +1,213 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bipartite is a seeded random assignment instance: T unit-supply left
+// vertices, N right slots each with capacity cap, complete cost matrix.
+// This is exactly the shape Algorithm 1 builds for thread placement.
+type bipartite struct {
+	T, N int
+	cap  int64
+	cost [][]float64 // T x N
+}
+
+func randBipartite(t, n int, cap int64, seed int64) bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	b := bipartite{T: t, N: n, cap: cap, cost: make([][]float64, t)}
+	for i := range b.cost {
+		b.cost[i] = make([]float64, n)
+		for j := range b.cost[i] {
+			// Small integer costs keep the brute-force comparison exact.
+			b.cost[i][j] = float64(rng.Intn(20))
+		}
+	}
+	return b
+}
+
+// build constructs the flow network: source -> left (cap 1, cost 0),
+// left -> right (cap 1, cost c), right -> sink (cap b.cap, cost 0).
+// Returns the graph, source, sink, and the left->right edge IDs.
+func (b bipartite) build() (*Graph, int, int, [][]int) {
+	g := NewGraph(b.T + b.N + 2)
+	source := b.T + b.N
+	sink := source + 1
+	ids := make([][]int, b.T)
+	for i := 0; i < b.T; i++ {
+		g.AddEdge(source, i, 1, 0)
+		ids[i] = make([]int, b.N)
+		for j := 0; j < b.N; j++ {
+			ids[i][j] = g.AddEdge(i, b.T+j, 1, b.cost[i][j])
+		}
+	}
+	for j := 0; j < b.N; j++ {
+		g.AddEdge(b.T+j, sink, b.cap, 0)
+	}
+	return g, source, sink, ids
+}
+
+// bruteForce enumerates every assignment of T threads to N slots (respecting
+// per-slot capacity) and returns the minimum total cost. Exponential — keep
+// T and N tiny.
+func (b bipartite) bruteForce() float64 {
+	used := make([]int64, b.N)
+	best := math.Inf(1)
+	var rec func(i int, cost float64)
+	rec = func(i int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if i == b.T {
+			best = cost
+			return
+		}
+		for j := 0; j < b.N; j++ {
+			if used[j] < b.cap {
+				used[j]++
+				rec(i+1, cost+b.cost[i][j])
+				used[j]--
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// checkInvariants verifies, by scanning the residual edge pairs, that the
+// computed flow is feasible: 0 <= flow <= cap on every forward edge, the
+// residual edge mirrors it exactly, and flow is conserved at every interior
+// node (net flow zero everywhere except source and sink).
+func checkInvariants(t *testing.T, g *Graph, source, sink int, flow int64) {
+	t.Helper()
+	net := make([]int64, g.n)
+	for id := 0; id < len(g.edges); id += 2 {
+		fwd, rev := g.edges[id], g.edges[id^1]
+		if fwd.flow < 0 || fwd.flow > fwd.cap {
+			t.Errorf("edge %d: flow %d outside [0, %d]", id, fwd.flow, fwd.cap)
+		}
+		if rev.flow != -fwd.flow {
+			t.Errorf("edge %d: residual flow %d != -%d", id, rev.flow, fwd.flow)
+		}
+		net[rev.to] -= fwd.flow // rev.to is the forward edge's tail
+		net[fwd.to] += fwd.flow
+	}
+	for v := 0; v < g.n; v++ {
+		want := int64(0)
+		switch v {
+		case source:
+			want = -flow
+		case sink:
+			want = flow
+		}
+		if net[v] != want {
+			t.Errorf("node %d: net flow %d, want %d", v, net[v], want)
+		}
+	}
+}
+
+// TestBipartiteProperties drives the solver over a table of seeded random
+// assignment instances and checks feasibility (conservation, capacity),
+// saturation (every unit-supply thread is placed when slots suffice), and
+// optimality against brute-force enumeration.
+func TestBipartiteProperties(t *testing.T) {
+	cases := []struct {
+		name     string
+		T, N     int
+		cap      int64
+		seed     int64
+		numSeeds int
+	}{
+		{"tight-2x2", 2, 2, 1, 100, 8},
+		{"square-3x3", 3, 3, 1, 200, 8},
+		{"slack-4x3", 4, 3, 2, 300, 8},
+		{"slots-2x4", 2, 4, 1, 400, 8},
+		{"deep-5x2", 5, 2, 4, 500, 4},
+		{"wide-4x4", 4, 4, 2, 600, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for s := 0; s < tc.numSeeds; s++ {
+				b := randBipartite(tc.T, tc.N, tc.cap, tc.seed+int64(s))
+				g, source, sink, ids := b.build()
+				flow, cost := g.Run(source, sink)
+
+				if want := int64(tc.T); flow != want {
+					t.Fatalf("seed %d: flow %d, want %d (capacity %d x %d slots)",
+						tc.seed+int64(s), flow, want, tc.cap, tc.N)
+				}
+				checkInvariants(t, g, source, sink, flow)
+
+				// Cross-check the reported cost against the assignment edges.
+				var edgeCost float64
+				for i := range ids {
+					assigned := 0
+					for j, id := range ids[i] {
+						f := g.Flow(id)
+						if f != 0 && f != 1 {
+							t.Fatalf("seed %d: assignment edge %d->%d carries %d", tc.seed+int64(s), i, j, f)
+						}
+						if f == 1 {
+							assigned++
+							edgeCost += b.cost[i][j]
+						}
+					}
+					if assigned != 1 {
+						t.Fatalf("seed %d: thread %d assigned %d times", tc.seed+int64(s), i, assigned)
+					}
+				}
+				if math.Abs(edgeCost-cost) > 1e-6 {
+					t.Fatalf("seed %d: reported cost %.6f != edge-sum cost %.6f", tc.seed+int64(s), cost, edgeCost)
+				}
+				if want := b.bruteForce(); math.Abs(cost-want) > 1e-6 {
+					t.Fatalf("seed %d: min cost %.6f, brute force found %.6f", tc.seed+int64(s), cost, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMaxFlowOnly checks the solver on a non-bipartite network where max
+// flow requires splitting across paths of different costs: 2 units must
+// route 1 over the cheap path and 1 over the expensive one.
+func TestMaxFlowOnly(t *testing.T) {
+	// source(0) -> a(1) -> sink(3), source -> b(2) -> sink; each arc cap 1.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(1, 3, 1, 1)
+	g.AddEdge(0, 2, 1, 5)
+	g.AddEdge(2, 3, 1, 5)
+	flow, cost := g.Run(0, 3)
+	if flow != 2 || cost != 12 {
+		t.Fatalf("flow=%d cost=%.1f, want flow=2 cost=12", flow, cost)
+	}
+	checkInvariants(t, g, 0, 3, flow)
+}
+
+// TestResidualRerouting forces the classic augmenting case where the second
+// path must push flow back over the first path's residual edge: greedy
+// path selection alone would strand capacity.
+func TestResidualRerouting(t *testing.T) {
+	// The diamond: s->a, a->t and s->b, b->t (cap 1 each) plus a cheap
+	// cross edge a->b. The first augmentation takes s->a->b->t; reaching
+	// max flow 2 then requires the second path to cancel the cross edge's
+	// unit through its residual, ending on the two disjoint paths.
+	g := NewGraph(4) // s=0 a=1 b=2 t=3
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(1, 2, 1, 0)
+	g.AddEdge(2, 3, 1, 1)
+	g.AddEdge(0, 2, 1, 10)
+	g.AddEdge(1, 3, 1, 10)
+	flow, cost := g.Run(0, 3)
+	if flow != 2 {
+		t.Fatalf("flow=%d, want 2", flow)
+	}
+	// Disjoint paths: s->a->t (11) + s->b->t (11) = 22; using a->b once
+	// would strand a unit. The min-cost max-flow is 22.
+	if cost != 22 {
+		t.Fatalf("cost=%.1f, want 22", cost)
+	}
+	checkInvariants(t, g, 0, 3, flow)
+}

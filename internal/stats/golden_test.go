@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestTableRenderGolden pins the exact plain-text serialization of a table.
+// This rendering is the byte stream the experiment harness's determinism
+// tests compare (`dlbench -jobs 1` vs `-jobs N`), so any formatting change
+// must be deliberate: it invalidates recorded outputs and golden diffs.
+func TestTableRenderGolden(t *testing.T) {
+	tb := NewTable("Demo — speedups", "workload", "mech", "speedup", "idc%")
+	tb.AddRow("BFS", "mcn", "2.45", "61.0")
+	tb.Addf("KM", "dimm-link", 5.93, 7.25)
+	tb.Addf("longer-name", "aim", 123.456, 0.98765)
+
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	want := "" +
+		"== Demo — speedups ==\n" +
+		"workload     mech       speedup  idc%\n" +
+		"-----------  ---------  -------  ------\n" +
+		"BFS          mcn        2.45     61.0\n" +
+		"KM           dimm-link  5.93     7.25\n" +
+		"longer-name  aim        123.5    0.9877\n"
+	if got := buf.String(); got != want {
+		t.Errorf("Render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestTableRenderNoTitle checks the title line is omitted when empty and
+// that over-wide cells beyond the header count pass through unpadded.
+func TestTableRenderNoTitle(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", "2", "extra")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	want := "" +
+		"a  b\n" +
+		"-  -\n" +
+		"1  2  extra\n"
+	if got := buf.String(); got != want {
+		t.Errorf("Render mismatch:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+// TestTableCSVGolden pins the CSV export byte-for-byte.
+func TestTableCSVGolden(t *testing.T) {
+	tb := NewTable("ignored in CSV", "workload", "speedup")
+	tb.Addf("BFS", 2.45)
+	tb.Addf("KM", 16.0)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	want := "" +
+		"workload,speedup\n" +
+		"BFS,2.45\n" +
+		"KM,16\n"
+	if got := buf.String(); got != want {
+		t.Errorf("CSV mismatch:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+// TestFormatFloat pins the float formatting tiers Addf relies on.
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{16, "16"},
+		{-3, "-3"},
+		{1e6, "1000000"},
+		{123.456, "123.5"},
+		{-250.04, "-250.0"},
+		{2.45678, "2.46"},
+		{1.0001, "1.00"},
+		{-5.93, "-5.93"},
+		{0.98765, "0.9877"},
+		{0.0001234, "0.0001"},
+		{-0.5, "-0.5000"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Very large integral values fall out of the exact-integer tier.
+	if got := FormatFloat(1e16); got != "10000000000000000.0" {
+		t.Errorf("FormatFloat(1e16) = %q", got)
+	}
+	if got := FormatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("FormatFloat(NaN) = %q", got)
+	}
+}

@@ -128,17 +128,3 @@ func TestTableRender(t *testing.T) {
 		t.Fatalf("bad csv:\n%s", csv.String())
 	}
 }
-
-func TestFormatFloat(t *testing.T) {
-	cases := map[float64]string{
-		3:       "3",
-		123.456: "123.5",
-		2.5:     "2.50",
-		0.1234:  "0.1234",
-	}
-	for v, want := range cases {
-		if got := FormatFloat(v); got != want {
-			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
-		}
-	}
-}
