@@ -99,7 +99,7 @@ func BenchmarkP2PAdjacentDIMMLink(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, nmp.MechDIMMLink))
 		w := &workloads.P2PBench{SrcDIMM: 0, DstDIMM: 1, TransferBytes: 4096, TotalBytes: 1 << 21}
-		_, mbps = w.Run(sys, sys.DefaultPlacement(), false)
+		_, mbps, _ = w.Run(sys, sys.DefaultPlacement(), false)
 	}
 	b.ReportMetric(float64(mbps)/1000, "GB/s")
 }
@@ -111,7 +111,7 @@ func BenchmarkP2PCPUForwarding(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sys := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, nmp.MechMCN))
 		w := &workloads.P2PBench{SrcDIMM: 0, DstDIMM: 1, TransferBytes: 4096, TotalBytes: 1 << 21}
-		_, mbps = w.Run(sys, sys.DefaultPlacement(), false)
+		_, mbps, _ = w.Run(sys, sys.DefaultPlacement(), false)
 	}
 	b.ReportMetric(float64(mbps)/1000, "GB/s")
 }
@@ -123,7 +123,7 @@ func BenchmarkBFSOnDIMMLink(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys := nmp.MustNewSystem(nmp.DefaultConfig(8, 4, nmp.MechDIMMLink))
-		res, _ := bfs.Run(sys, sys.DefaultPlacement(), false)
+		res, _, _ := bfs.Run(sys, sys.DefaultPlacement(), false)
 		b.ReportMetric(float64(res.Makespan)/1e6, "sim-us")
 	}
 }

@@ -23,9 +23,15 @@ go build ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
 
+echo "== go test -run Fuzz ./internal/core/ (fuzz seed corpus)"
+go test -run Fuzz ./internal/core/
+
 if [ "${1:-}" != "quick" ]; then
 	echo "== go test ./..."
 	go test ./...
+
+	echo "== dlbench fault smoke (lossy run with a dead link must complete)"
+	go run ./cmd/dlbench -exp table1 -q -fault 'ber=1e-7,down=1-2@50us' >/dev/null
 fi
 
 echo "ci: OK"

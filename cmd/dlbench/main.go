@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -36,6 +37,9 @@ func main() {
 		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs per experiment")
 		quiet = flag.Bool("q", false, "suppress per-job progress on stderr")
 		csv   = flag.String("csv", "", "directory to also write tables as CSV")
+
+		faultSpec = flag.String("fault", "", "link-fault plan applied to every DIMM-Link run, e.g. 'ber=1e-7,down=0-1@10us' (see dlsim -fault)")
+		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's error draws")
 	)
 	flag.Parse()
 
@@ -51,6 +55,14 @@ func main() {
 	}
 
 	opts := exp.Options{Quick: !*full, Seed: *seed, Jobs: *jobs}
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Fault = plan
+	}
 	var targets []exp.Experiment
 	if *id == "all" {
 		targets = exp.All()

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/nmp"
 	"repro/internal/stats"
@@ -40,10 +41,19 @@ func main() {
 		cxl      = flag.Bool("cxl", false, "disaggregated mode: inter-group traffic over CXL instead of host forwarding")
 		bcast    = flag.Bool("broadcast", false, "use the broadcast formulation (pr, sssp, spmv)")
 		profile  = flag.Bool("profile", false, "record the per-thread traffic matrix")
+		faultSpec = flag.String("fault", "", "link-fault plan, e.g. 'ber=1e-7,down=0-1@10us,stall=2-3@5us+20us,degrade=1-2@0*0.5' (dimm-link only)")
+		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's error draws")
 	)
 	flag.Parse()
 
 	cfg := nmp.DefaultConfig(*dimms, *channels, nmp.Mechanism(*mech))
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.DL.Fault = plan
+	}
 	cfg.DL.Topology = core.TopologyKind(*topology)
 	cfg.DL.Link.BytesPerSec = *linkbw
 	if *cxl {
@@ -66,9 +76,15 @@ func main() {
 		fatal(err)
 	}
 
-	res, checksum := w.Run(sys, sys.DefaultPlacement(), *profile)
+	res, checksum, err := w.Run(sys, sys.DefaultPlacement(), *profile)
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("workload   %s on %s (%dD-%dC)\n", w.Name(), *mech, *dimms, *channels)
+	if cfg.DL.Fault.Active() {
+		fmt.Printf("faults     %s (seed %d)\n", cfg.DL.Fault, cfg.DL.Fault.Seed)
+	}
 	fmt.Printf("makespan   %.3f ms\n", float64(res.Makespan)/1e9)
 	fmt.Printf("idc-stall  %.1f%% (non-overlapped IDC cycle ratio)\n", 100*res.IDCStallRatio())
 	fmt.Printf("checksum   %#x\n", checksum)

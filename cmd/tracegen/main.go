@@ -52,7 +52,10 @@ func main() {
 		rec = trace.NewRecorder(inner, sys.Threads(), sys.Cfg.NMPCore.ClockHz)
 		return rec
 	})
-	w.Run(sys, sys.DefaultPlacement(), false)
+	if _, _, err := w.Run(sys, sys.DefaultPlacement(), false); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
 
 	dst := os.Stdout
 	if *out != "" {

@@ -32,7 +32,10 @@ func main() {
 	var cpu float64
 	for _, mech := range []nmp.Mechanism{nmp.MechHostCPU, nmp.MechMCN, nmp.MechAIM, nmp.MechDIMMLink} {
 		sys := nmp.MustNewSystem(nmp.DefaultConfig(dimms, channels, mech))
-		res, chk := nw.Run(sys, sys.DefaultPlacement(), false)
+		res, chk, err := nw.Run(sys, sys.DefaultPlacement(), false)
+		if err != nil {
+			panic(err)
+		}
 		ms := float64(res.Makespan) / 1e9
 		if mech == nmp.MechHostCPU {
 			cpu = ms

@@ -43,11 +43,17 @@ func main() {
 
 		pr := workloads.NewPageRankFromGraph(graph, prIters)
 		sysPR := nmp.MustNewSystem(cfg)
-		resPR, _ := pr.Run(sysPR, sysPR.DefaultPlacement(), false)
+		resPR, _, err := pr.Run(sysPR, sysPR.DefaultPlacement(), false)
+		if err != nil {
+			panic(err)
+		}
 
 		bfs := workloads.NewBFSFromGraph(graph)
 		sysBFS := nmp.MustNewSystem(cfg)
-		resBFS, _ := bfs.Run(sysBFS, sysBFS.DefaultPlacement(), false)
+		resBFS, _, err := bfs.Run(sysBFS, sysBFS.DefaultPlacement(), false)
+		if err != nil {
+			panic(err)
+		}
 
 		prMs := float64(resPR.Makespan) / 1e9
 		bfsMs := float64(resBFS.Makespan) / 1e9

@@ -25,7 +25,10 @@ func main() {
 		// "Calibration").
 		cfg.HostLLC.SizeBytes = 256 << 10
 		sys := nmp.MustNewSystem(cfg)
-		res, chk := bfs.Run(sys, sys.DefaultPlacement(), false)
+		res, chk, err := bfs.Run(sys, sys.DefaultPlacement(), false)
+		if err != nil {
+			panic(err)
+		}
 		return float64(res.Makespan) / 1e9, chk
 	}
 

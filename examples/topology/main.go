@@ -48,7 +48,10 @@ func main() {
 		cfg.DL.Topology = tp.kind
 		sys := nmp.MustNewSystem(cfg)
 		pr := workloads.NewPageRankFromGraph(graph, 3)
-		res, _ := pr.Run(sys, sys.DefaultPlacement(), false)
+		res, _, err := pr.Run(sys, sys.DefaultPlacement(), false)
+		if err != nil {
+			panic(err)
+		}
 		ms := float64(res.Makespan) / 1e9
 		if tp.kind == core.TopoChain {
 			chainMs = ms

@@ -17,7 +17,7 @@ func TestEndToEndDeterminism(t *testing.T) {
 	run := func() (uint64, uint64, uint64) {
 		sys := nmp.MustNewSystem(nmp.DefaultConfig(8, 4, nmp.MechDIMMLink))
 		bfs := workloads.NewBFSFromGraph(workloads.Community(12, 8, 42))
-		res, chk := bfs.Run(sys, sys.DefaultPlacement(), false)
+		res, chk, _ := bfs.Run(sys, sys.DefaultPlacement(), false)
 		return uint64(res.Makespan), chk, sys.IC.Counters().Get("link.bytes")
 	}
 	m1, c1, l1 := run()
@@ -84,7 +84,7 @@ func TestFunctionalEqualityAcrossAllSystems(t *testing.T) {
 		var want uint64
 		for i, mech := range mechs {
 			sys := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, mech))
-			_, chk := mk().Run(sys, sys.DefaultPlacement(), false)
+			_, chk, _ := mk().Run(sys, sys.DefaultPlacement(), false)
 			if i == 0 {
 				want = chk
 			} else if chk != want {
@@ -115,7 +115,7 @@ func TestAllWorkloadsRunOnAllTopologies(t *testing.T) {
 			cfg := nmp.DefaultConfig(8, 4, nmp.MechDIMMLink)
 			cfg.DL.Topology = topo
 			sys := nmp.MustNewSystem(cfg)
-			res, _ := w.Run(sys, sys.DefaultPlacement(), false)
+			res, _, _ := w.Run(sys, sys.DefaultPlacement(), false)
 			if res.Makespan == 0 {
 				t.Errorf("%s on %s: zero makespan", w.Name(), topo)
 			}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/mem"
 	"repro/internal/noc"
@@ -102,6 +103,19 @@ type Config struct {
 	// ErrorEvery injects a CRC error (and thus a DLL retry) on every Nth
 	// packet; zero disables injection. Used by the DLL-layer ablation.
 	ErrorEvery uint64
+
+	// Fault optionally injects link faults (bit errors, stalls, permanent
+	// link-down, degraded lanes; see internal/fault). A nil or inactive
+	// plan leaves the simulator on the exact perfect-link code path, so
+	// its output stays byte-identical to a run without fault support.
+	// When the plan is active the DL-Controllers run the full DLL of
+	// dll.go (replay buffer, ACK/NAK, sequence window), whose cost lands
+	// in the timeline even for crossings that never fault.
+	Fault *fault.Plan
+
+	// DLL sizes the per-link retry/replay machinery exercised when Fault
+	// is active.
+	DLL DLLConfig
 }
 
 // DefaultConfig returns the paper's evaluated configuration: GRS links at
@@ -120,6 +134,7 @@ func DefaultConfig(numGroups int) Config {
 		DecodeCycles:      20,
 		Sync:              SyncHierarchical,
 		IntraDIMMSyncCost: 20 * sim.Nanosecond,
+		DLL:               DefaultDLLConfig(),
 	}
 }
 
@@ -147,6 +162,10 @@ type Link struct {
 	ctrl     []*Controller
 	ctrs     stats.Counters
 	pktCount uint64 // for deterministic error injection
+
+	// flt is the per-run fault state; nil means the perfect physical
+	// layer (the fast path through sendPacket/broadcastWithin).
+	flt *fault.Injector
 }
 
 // group is one DL group: the DIMMs on one side of the CPU (or one memory
@@ -160,6 +179,10 @@ type group struct {
 	// CXL blade ports (used only with ViaCXL).
 	egress  sim.BusyLine
 	ingress sim.BusyLine
+
+	// dllCh holds per-directed-link DLL channel state (fault mode only),
+	// keyed by local node pair.
+	dllCh map[[2]int]*dllChan
 }
 
 // NewLink builds a DIMM-Link interconnect over the system's DIMMs and
@@ -183,11 +206,23 @@ func NewLink(eng *sim.Engine, geo mem.Geometry, modules []*dram.Module, hostCfg 
 		groupOf: make([]int, geo.NumDIMMs),
 		nodeOf:  make([]int, geo.NumDIMMs),
 	}
+	l.flt = fault.NewInjector(cfg.Fault)
+	if l.flt != nil {
+		l.cfg.DLL = l.cfg.DLL.withDefaults()
+	}
 	per := geo.NumDIMMs / cfg.NumGroups
 	var proxies []int
 	for g := 0; g < cfg.NumGroups; g++ {
 		gr := &group{base: g * per, size: per}
 		gr.net = noc.NewNetwork(buildTopology(cfg.Topology, per), cfg.Link)
+		if l.flt != nil {
+			gids := make([]int, per)
+			for i := range gids {
+				gids[i] = gr.base + i
+			}
+			gr.net.SetFaults(l.flt, gids)
+			gr.dllCh = make(map[[2]int]*dllChan)
+		}
 		// "We heuristically select the DIMM at the middle of each group as
 		// the master" — and the master doubles as the polling proxy.
 		gr.master = gr.base + (per-1)/2
@@ -308,10 +343,18 @@ const retryTimeout = 200 * sim.Nanosecond
 // same group, including deterministic CRC-error retries when configured.
 // It returns the arrival time of the (good) packet at dst.
 func (l *Link) sendPacket(at sim.Time, src, dst int, wireBytes int) sim.Time {
+	if l.flt != nil {
+		return l.sendPacketFI(at, src, dst, wireBytes)
+	}
 	g := l.groups[l.groupOf[src]]
 	t := at
 	for {
-		arrive, _ := g.net.Send(t, l.nodeOf[src], l.nodeOf[dst], wireBytes)
+		arrive, _, err := g.net.Send(t, l.nodeOf[src], l.nodeOf[dst], wireBytes)
+		if err != nil {
+			// Unreachable without fault injection: shipped topologies are
+			// connected and static routes only walk real links.
+			panic(err)
+		}
 		l.ctrs.Add("link.bytes", uint64(wireBytes))
 		l.ctrs.Inc("packets")
 		l.pktCount++
@@ -527,6 +570,9 @@ func (l *Link) Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) sim
 // broadcastWithin floods size bytes from src to every DIMM of its group and
 // returns the time the last DIMM has decoded the final chunk.
 func (l *Link) broadcastWithin(at sim.Time, src int, size uint32) sim.Time {
+	if l.flt != nil {
+		return l.broadcastWithinFI(at, src, size)
+	}
 	g := l.groups[l.groupOf[src]]
 	if g.size == 1 {
 		return at
@@ -536,7 +582,11 @@ func (l *Link) broadcastWithin(at sim.Time, src int, size uint32) sim.Time {
 	for _, chunk := range SplitPayload(size) {
 		sendAt := l.packetize(t)
 		wire := wireBytesFor(chunk)
-		_, fin := g.net.Broadcast(sendAt, l.nodeOf[src], wire)
+		_, fin, err := g.net.Broadcast(sendAt, l.nodeOf[src], wire)
+		if err != nil {
+			// Unreachable without fault injection (connected topology).
+			panic(err)
+		}
 		l.ctrs.Add("link.bytes", uint64(wire*(g.size-1)))
 		l.ctrs.Inc("packets")
 		if d := l.decode(fin); d > last {

@@ -1,0 +1,270 @@
+// This file is the DL-Controller's data-link layer, exercised when a
+// fault plan is active (Config.Fault). The packet format already
+// reserves the machinery's wire state — a CRC-32 tail plus a DLL word
+// carrying sequence and credit fields (Figure 3, packet.go) — and this
+// models the controller behind it: a per-link replay buffer with
+// ACK/NAK, timeout-based retransmission with bounded retries and
+// exponential backoff, and a retired-sequence window bounding in-flight
+// packets per link. On retry exhaustion a link is declared dead and the
+// router degrades: rings reverse direction, mesh/torus route around the
+// dead edge, and a severed chain falls back to host CPU forwarding.
+//
+// None of this code runs without an active fault plan, so the perfect
+// physical layer stays on the exact pre-fault fast path.
+package core
+
+import (
+	"repro/internal/fault"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// DLLConfig sizes the per-link data-link-layer retry machinery.
+type DLLConfig struct {
+	// ReplayBufBytes is the per-link replay buffer: a packet occupies it
+	// from injection until its ACK returns, so buffer pressure throttles
+	// a lossy link.
+	ReplayBufBytes int
+	// Window bounds unacknowledged packets in flight per link (the
+	// retired-sequence window the DLL word's 16-bit SEQ field tracks).
+	Window int
+	// AckTimeout is the base retransmission timer; it doubles on every
+	// retry (exponential backoff).
+	AckTimeout sim.Time
+	// MaxRetries is the attempt budget before the link is declared
+	// permanently dead and handed to the router to route around.
+	MaxRetries int
+}
+
+// DefaultDLLConfig sizes the DLL like a modest buffer-chip SRAM block:
+// a 4 KiB replay buffer, 16-packet window, the legacy 200 ns retry
+// timer, and 6 attempts before giving a link up for dead.
+func DefaultDLLConfig() DLLConfig {
+	return DLLConfig{
+		ReplayBufBytes: 4 << 10,
+		Window:         16,
+		AckTimeout:     retryTimeout,
+		MaxRetries:     6,
+	}
+}
+
+// withDefaults fills zero fields, so a hand-built Config with an active
+// fault plan still gets a working DLL.
+func (c DLLConfig) withDefaults() DLLConfig {
+	d := DefaultDLLConfig()
+	if c.ReplayBufBytes <= 0 {
+		c.ReplayBufBytes = d.ReplayBufBytes
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = d.AckTimeout
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	return c
+}
+
+// dllChan is the sender-side DLL state of one directed link.
+type dllChan struct {
+	replay  *byteBuffer
+	ackAt   []sim.Time // ring over the sequence window: when each slot's ACK returned
+	wIdx    int
+	nextSeq uint16 // next sequence number to assign (wraps; window << 2^16)
+	retired uint16 // highest in-order retired sequence
+}
+
+// dll returns (building on first use) the DLL channel for local link u->v.
+func (g *group) dll(u, v int, cfg DLLConfig) *dllChan {
+	k := [2]int{u, v}
+	ch := g.dllCh[k]
+	if ch == nil {
+		ch = &dllChan{
+			replay: newByteBuffer(cfg.ReplayBufBytes),
+			ackAt:  make([]sim.Time, cfg.Window),
+		}
+		g.dllCh[k] = ch
+	}
+	return ch
+}
+
+// ackDelay is the DLL acknowledgment return latency across one link: one
+// flit's serialization plus wire and router crossing. ACKs piggyback on
+// the DLL word of reverse traffic (Figure 3), so they do not reserve
+// reverse-link bus time.
+func (l *Link) ackDelay() sim.Time {
+	ser := sim.TransferTime(uint64(l.cfg.Link.FlitBytes), l.cfg.Link.BytesPerSec)
+	return ser + l.cfg.Link.WireLatency + l.cfg.Link.RouterLatency
+}
+
+// dllHop carries one packet across a single link under the DLL. The
+// packet claims a sequence slot and replay-buffer space, crosses the
+// wire, and retires when its ACK returns. A corrupted crossing is NAKed
+// by the receiver's CRC check and replayed from the buffer; a dropped
+// crossing waits out the retransmission timer with exponential backoff.
+// MaxRetries failures declare the link dead. Returns the packet's
+// arrival time at v and true, or the time the sender gave up and false.
+func (l *Link) dllHop(g *group, u, v int, at sim.Time, wire int) (sim.Time, bool) {
+	ch := g.dll(u, v, l.cfg.DLL)
+	// Sequence window: the slot Window packets back must have retired.
+	start := at
+	if w := ch.ackAt[ch.wIdx]; w > start {
+		start = w
+	}
+	var arrive sim.Time
+	ok := true
+	ackReturn := ch.replay.holdWith(start, wire, func(admit sim.Time) sim.Time {
+		t := admit
+		for attempt := 0; ; attempt++ {
+			hopArrive, verdict, err := g.net.HopCrossing(u, v, t, wire)
+			if err != nil {
+				// The link died between routing and injection.
+				arrive = t
+				ok = false
+				return t
+			}
+			switch verdict {
+			case fault.VerdictOK:
+				arrive = hopArrive
+				return hopArrive + l.ackDelay()
+			case fault.VerdictCorrupt:
+				// The receiver's CRC check fails and it NAKs; the sender
+				// replays from the buffer as soon as the NAK returns.
+				l.ctrs.Inc("fault.corrupted")
+				l.ctrs.Inc("fault.replays")
+				l.ctrs.Inc("link.retries")
+				t = hopArrive + l.ackDelay()
+			case fault.VerdictDrop:
+				// The flits vanished; no NAK ever comes, so the
+				// retransmission timer fires, doubling each attempt.
+				l.ctrs.Inc("fault.timeouts")
+				l.ctrs.Inc("link.retries")
+				t += l.cfg.DLL.AckTimeout << uint(attempt)
+			}
+			if attempt+1 >= l.cfg.DLL.MaxRetries {
+				// Retry budget exhausted: declare the link dead so the
+				// router stops choosing it, and report failure upward.
+				l.flt.ForceDown(g.base+u, g.base+v, t)
+				l.ctrs.Inc("fault.linkdown")
+				arrive = t
+				ok = false
+				return t
+			}
+		}
+	})
+	if !ok {
+		return arrive, false
+	}
+	// Retire the sequence slot when the ACK returned; the next packet
+	// that wraps around to this slot waits for it.
+	ch.ackAt[ch.wIdx] = ackReturn
+	ch.wIdx = (ch.wIdx + 1) % len(ch.ackAt)
+	ch.nextSeq++
+	ch.retired = ch.nextSeq
+	return arrive, true
+}
+
+// sendPacketFI is sendPacket with the fault layer on: hops run under the
+// DLL, dead links trigger rerouting, and a partitioned group falls back
+// to host CPU forwarding. Replays are counted separately from the
+// packet itself.
+func (l *Link) sendPacketFI(at sim.Time, src, dst int, wireBytes int) sim.Time {
+	g := l.groups[l.groupOf[src]]
+	l.ctrs.Add("link.bytes", uint64(wireBytes))
+	l.ctrs.Inc("packets")
+	l.pktCount++
+	t := at
+	cur, target := l.nodeOf[src], l.nodeOf[dst]
+	// Each failed attempt permanently removes a link, so the reroute
+	// loop terminates; the bound is pure defense in depth.
+	for tries := 0; cur != target; tries++ {
+		path, rerouted, err := g.net.RouteAt(t, cur, target)
+		if err != nil || tries > 4*g.size {
+			// Partitioned: leave the DL fabric and ride the host.
+			return l.hostFallback(t, g.base+cur, dst, wireBytes)
+		}
+		if rerouted {
+			l.ctrs.Inc("fault.reroutes")
+		}
+		// Walk the path; a hop that dies mid-walk re-enters the outer
+		// loop to re-route from the stranded node.
+		for i := 0; i+1 < len(path); i++ {
+			arr, ok := l.dllHop(g, path[i], path[i+1], t, wireBytes)
+			t = arr
+			if !ok {
+				break
+			}
+			cur = path[i+1]
+		}
+	}
+	return t
+}
+
+// hostFallback delivers a packet between DIMMs whose DL path is severed:
+// the stranded controller registers a forwarding request and the host
+// CPU moves the packet over the memory channels, exactly like
+// inter-group traffic (Section III-C). This is the graceful-degradation
+// path of last resort — slow, but the computation completes.
+func (l *Link) hostFallback(at sim.Time, srcDIMM, dstDIMM int, wire int) sim.Time {
+	l.ctrs.Inc("fault.fallback.packets")
+	l.ctrs.Add("fault.fallback.bytes", uint64(wire))
+	noticed := l.host.NoticeTime(at, srcDIMM, 1)
+	return l.host.Forward(noticed, srcDIMM, dstDIMM, uint32(wire))
+}
+
+// broadcastWithinFI is broadcastWithin with the fault layer on: chunks
+// flood a spanning tree over links alive at injection time, each edge
+// crosses under the DLL, and nodes severed from the source (or stranded
+// by a link dying mid-broadcast) receive their copy over the host
+// fallback instead.
+func (l *Link) broadcastWithinFI(at sim.Time, src int, size uint32) sim.Time {
+	g := l.groups[l.groupOf[src]]
+	if g.size == 1 {
+		return at
+	}
+	srcNode := l.nodeOf[src]
+	t := at
+	var last sim.Time
+	for _, chunk := range SplitPayload(size) {
+		sendAt := l.packetize(t)
+		wire := wireBytesFor(chunk)
+		parent, unreachable := g.net.SpanningTreeAt(sendAt, srcNode)
+		arrivals := make([]sim.Time, g.size)
+		arrivals[srcNode] = sendAt
+		delivered := 0
+		for _, node := range noc.BFSOrder(parent, srcNode) {
+			if node == srcNode {
+				continue
+			}
+			arr, ok := l.dllHop(g, parent[node], node, arrivals[parent[node]], wire)
+			if !ok {
+				// The tree edge died mid-broadcast; this node still gets
+				// its copy, via the host. Its subtree keeps flooding from
+				// here over surviving links.
+				arr = l.hostFallback(arr, g.base+parent[node], g.base+node, wire)
+			} else {
+				delivered++
+			}
+			arrivals[node] = arr
+			if arr > last {
+				last = arr
+			}
+		}
+		for _, node := range unreachable {
+			arr := l.hostFallback(sendAt, src, g.base+node, wire)
+			arrivals[node] = arr
+			if arr > last {
+				last = arr
+			}
+		}
+		l.ctrs.Add("link.bytes", uint64(wire*delivered))
+		l.ctrs.Inc("packets")
+		t = sendAt
+	}
+	if d := l.decode(last); d > at {
+		return d
+	}
+	return at
+}

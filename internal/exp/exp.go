@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/nmp"
 	"repro/internal/placement"
 	"repro/internal/sim"
@@ -34,6 +35,14 @@ type Options struct {
 	// completes with the number of finished jobs and the batch total.
 	// Invocations are serialized by the engine.
 	Progress func(done, total int)
+
+	// Fault, when active, attaches the link-fault plan to every
+	// DIMM-Link system the experiments build (other mechanisms have no
+	// DL links and ignore it). The plan is read-only once constructed,
+	// so concurrent jobs may share the pointer; each system derives its
+	// own injector state from it. An inactive plan (nil, or no BER and
+	// no events) leaves every run byte-identical to a fault-free build.
+	Fault *fault.Plan
 }
 
 // DefaultOptions returns quick-mode options (seed 42, pool width
@@ -150,6 +159,9 @@ func execute(o Options, w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
 
 	c := nmp.DefaultConfig(cfg.dimms, cfg.channels, mech)
 	o.tune(&c)
+	if o.Fault.Active() {
+		c.DL.Fault = o.Fault
+	}
 	if tweak != nil {
 		tweak(&c)
 	}
@@ -161,7 +173,12 @@ func execute(o Options, w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
 		// experiment) starts from data-oblivious placements instead.
 		place = sys.DefaultPlacement()
 	}
-	res, chk := w.Run(sys, place, profile)
+	res, chk, err := w.Run(sys, place, profile)
+	if err != nil {
+		// Experiment placements are generated internally, so a rejected
+		// one is a bug in the experiment, not a user error.
+		panic(fmt.Sprintf("exp: %s rejected placement: %v", w.Name(), err))
+	}
 	return runOut{sys: sys, res: res, checksum: chk}
 }
 

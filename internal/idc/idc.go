@@ -85,6 +85,16 @@ const (
 	CtrSyncMsgs     = "sync.messages" // synchronization messages exchanged
 	CtrRetries      = "link.retries"  // DLL-layer retransmissions
 	CtrFwdedBytes   = "fwd.bytes"     // bytes that crossed the host on behalf of IDC
+
+	// Fault-injection counters (populated only when a fault plan is active;
+	// see internal/fault and the core DLL).
+	CtrFaultCorrupted = "fault.corrupted"        // crossings delivered CRC-broken (NAKed)
+	CtrFaultReplays   = "fault.replays"          // replay-buffer retransmissions after a NAK
+	CtrFaultTimeouts  = "fault.timeouts"         // retransmissions after an ACK timeout
+	CtrFaultReroutes  = "fault.reroutes"         // packets routed around a dead link
+	CtrFaultLinkDown  = "fault.linkdown"         // links declared dead by retry exhaustion
+	CtrFaultFallback  = "fault.fallback.packets" // packets forced onto the host-forwarding fallback
+	CtrFaultFallbackB = "fault.fallback.bytes"   // bytes carried by the fallback path
 )
 
 // MaxBarrier returns the latest of the arrival times (helper shared by the

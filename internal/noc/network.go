@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -70,6 +71,10 @@ type Stats struct {
 	Bytes     uint64
 	Hops      stats.Dist
 	LatencyPs stats.Dist
+	// Corrupted and Dropped count fault-injected crossings: flits that
+	// arrived CRC-broken, and flits that never arrived at all.
+	Corrupted uint64
+	Dropped   uint64
 }
 
 // Network simulates packet transport over a Topology. It is not
@@ -79,6 +84,12 @@ type Network struct {
 	cfg   LinkConfig
 	links map[[2]int]*link
 	Stats Stats
+
+	// Fault injection, attached via SetFaults. inj==nil is the perfect
+	// physical layer; gid maps local node index to the global DIMM id
+	// fault plans are written in.
+	inj *fault.Injector
+	gid []int
 }
 
 // NewNetwork builds the link state for every edge of the topology.
@@ -101,12 +112,16 @@ func (n *Network) Topology() Topology { return n.topo }
 // Config returns the link configuration.
 func (n *Network) Config() LinkConfig { return n.cfg }
 
-func (n *Network) link(u, v int) *link {
+// link resolves the channel u->v. A missing link is an error rather than
+// a panic: static routes never produce one, but fault-aware rerouting
+// walks paths a plan may have invalidated, and the caller is expected to
+// degrade (reroute, or fall back to host forwarding) instead of crashing.
+func (n *Network) link(u, v int) (*link, error) {
 	l, ok := n.links[[2]int{u, v}]
 	if !ok {
-		panic(fmt.Sprintf("noc: no link %d->%d in %s", u, v, n.topo.Name()))
+		return nil, fmt.Errorf("noc: no link %d->%d in %s", u, v, n.topo.Name())
 	}
-	return l
+	return l, nil
 }
 
 // serTime returns the serialization time of a packet of size bytes (rounded
@@ -121,8 +136,11 @@ func (n *Network) serTime(size int) sim.Time {
 
 // sendHop moves a packet across one link. headAt is when the packet's head
 // is ready at u; the return value is when the full packet has arrived at v.
-func (n *Network) sendHop(u, v int, headAt sim.Time, size int) sim.Time {
-	l := n.link(u, v)
+func (n *Network) sendHop(u, v int, headAt sim.Time, size int) (sim.Time, error) {
+	l, err := n.link(u, v)
+	if err != nil {
+		return 0, err
+	}
 	ser := n.serTime(size)
 	// Credit for the whole packet must be available before injection
 	// (virtual cut-through: a packet only advances when the next buffer can
@@ -132,7 +150,7 @@ func (n *Network) sendHop(u, v int, headAt sim.Time, size int) sim.Time {
 	_ = start
 	l.bytes += uint64(size)
 	l.packets++
-	return end + n.cfg.WireLatency + n.cfg.RouterLatency
+	return end + n.cfg.WireLatency + n.cfg.RouterLatency, nil
 }
 
 // Send transports one packet of size bytes from src to dst, starting no
@@ -143,37 +161,47 @@ func (n *Network) sendHop(u, v int, headAt sim.Time, size int) sim.Time {
 // wire and router pipeline latency. DL packets are at most 32 flits
 // (256 B + header), so packet-granularity timing differs from flit-level
 // wormhole by less than one packet serialization per hop.
-func (n *Network) Send(at sim.Time, src, dst int, size int) (sim.Time, int) {
+func (n *Network) Send(at sim.Time, src, dst int, size int) (sim.Time, int, error) {
 	if src == dst {
-		return at, 0
+		return at, 0, nil
 	}
 	path := n.topo.Route(src, dst)
 	t := at
 	for i := 0; i+1 < len(path); i++ {
-		t = n.sendHop(path[i], path[i+1], t, size)
+		var err error
+		t, err = n.sendHop(path[i], path[i+1], t, size)
+		if err != nil {
+			return 0, 0, err
+		}
 	}
 	hops := len(path) - 1
 	n.Stats.Packets++
 	n.Stats.Bytes += uint64(size)
 	n.Stats.Hops.Observe(float64(hops))
 	n.Stats.LatencyPs.Observe(float64(t - at))
-	return t, hops
+	return t, hops, nil
 }
 
 // Broadcast floods one packet from src to every other node along the BFS
 // spanning tree. It returns the arrival time at each node (src maps to at)
 // and the time the last node received the packet.
-func (n *Network) Broadcast(at sim.Time, src int, size int) (arrivals []sim.Time, last sim.Time) {
-	parent := SpanningTree(n.topo, src)
+func (n *Network) Broadcast(at sim.Time, src int, size int) (arrivals []sim.Time, last sim.Time, err error) {
+	parent, err := SpanningTree(n.topo, src)
+	if err != nil {
+		return nil, 0, err
+	}
 	arrivals = make([]sim.Time, n.topo.Nodes())
-	order := bfsOrder(parent, src)
+	order := BFSOrder(parent, src)
 	arrivals[src] = at
 	last = at
 	for _, node := range order {
 		if node == src {
 			continue
 		}
-		t := n.sendHop(parent[node], node, arrivals[parent[node]], size)
+		t, err := n.sendHop(parent[node], node, arrivals[parent[node]], size)
+		if err != nil {
+			return nil, 0, err
+		}
 		arrivals[node] = t
 		if t > last {
 			last = t
@@ -182,11 +210,13 @@ func (n *Network) Broadcast(at sim.Time, src int, size int) (arrivals []sim.Time
 	n.Stats.Packets++
 	n.Stats.Bytes += uint64(size)
 	n.Stats.LatencyPs.Observe(float64(last - at))
-	return arrivals, last
+	return arrivals, last, nil
 }
 
-// bfsOrder returns nodes in an order where parents precede children.
-func bfsOrder(parent []int, src int) []int {
+// BFSOrder returns nodes in an order where parents precede children.
+// parent entries < 0 that are not the src are treated as absent (an
+// unreachable node in a fault-partitioned tree).
+func BFSOrder(parent []int, src int) []int {
 	children := make([][]int, len(parent))
 	for node, p := range parent {
 		if p >= 0 {

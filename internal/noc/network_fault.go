@@ -1,0 +1,184 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// This file is the network's fault-aware surface. None of it runs unless
+// SetFaults attaches an injector, so the perfect-link fast path in
+// network.go stays byte-identical to a build without fault support.
+
+// SetFaults attaches a fault injector to the network. gid maps each
+// local node index to the global DIMM id fault plans are written in
+// (group networks are numbered 0..per-1 locally but plans name DIMMs
+// system-wide).
+func (n *Network) SetFaults(inj *fault.Injector, gid []int) {
+	if len(gid) != n.topo.Nodes() {
+		panic(fmt.Sprintf("noc: SetFaults gid has %d entries for %d nodes", len(gid), n.topo.Nodes()))
+	}
+	n.inj = inj
+	n.gid = gid
+}
+
+// Injector returns the attached fault injector (nil when fault injection
+// is off).
+func (n *Network) Injector() *fault.Injector { return n.inj }
+
+func (n *Network) gidOf(u int) int {
+	if n.gid == nil {
+		return u
+	}
+	return n.gid[u]
+}
+
+// serTimeAt is serTime under a degraded-lane factor: a lane failure
+// narrows the cable, stretching serialization by 1/factor.
+func (n *Network) serTimeAt(size int, factor float64) sim.Time {
+	ser := n.serTime(size)
+	if factor > 0 && factor < 1 {
+		ser = sim.Time(float64(ser)/factor + 0.5)
+	}
+	return ser
+}
+
+// HopCrossing moves one packet across one link under fault injection.
+// It honors stall windows (the head waits for the link to wake up) and
+// degraded-lane bandwidth, fails when the link is permanently down at
+// headAt, and draws the crossing's deterministic fault verdict. Bus
+// occupancy and per-link byte counters are charged even for corrupted
+// or dropped crossings — the flits did occupy the wire; only the
+// delivery failed. Down-ness is checked at headAt only: flits already
+// injected when a link dies still complete their crossing, and the next
+// injection attempt observes the dead link.
+func (n *Network) HopCrossing(u, v int, headAt sim.Time, size int) (sim.Time, fault.Verdict, error) {
+	l, err := n.link(u, v)
+	if err != nil {
+		return 0, fault.VerdictOK, err
+	}
+	gu, gv := n.gidOf(u), n.gidOf(v)
+	if n.inj.Down(gu, gv, headAt) {
+		return 0, fault.VerdictOK, fmt.Errorf("noc: link %d-%d down at t=%dps", gu, gv, headAt)
+	}
+	headAt = n.inj.StallClear(gu, gv, headAt)
+	ser := n.serTimeAt(size, n.inj.Factor(gu, gv, headAt))
+	start := l.creditAcquire(headAt, headAt+ser+n.cfg.WireLatency+n.cfg.RouterLatency)
+	_, end := l.bus.Reserve(start, ser)
+	l.bytes += uint64(size)
+	l.packets++
+	arrive := end + n.cfg.WireLatency + n.cfg.RouterLatency
+	verdict := n.inj.Verdict(gu, gv, l.packets, size)
+	switch verdict {
+	case fault.VerdictCorrupt:
+		n.Stats.Corrupted++
+	case fault.VerdictDrop:
+		n.Stats.Dropped++
+	}
+	return arrive, verdict, nil
+}
+
+// RouteAt returns a path from src to dst avoiding links that are
+// permanently down at time at. While every link on the static route is
+// alive this is exactly the topology's route (rerouted=false); otherwise
+// a BFS over surviving links finds a detour (rerouted=true) — a ring
+// reverses direction, mesh/torus route around the dead edge. An error
+// means src and dst are partitioned and the caller must leave the DL
+// fabric (host-forwarding fallback).
+func (n *Network) RouteAt(at sim.Time, src, dst int) (path []int, rerouted bool, err error) {
+	static := n.topo.Route(src, dst)
+	if !n.inj.AnyDown(at) {
+		return static, false, nil
+	}
+	blocked := false
+	for i := 0; i+1 < len(static); i++ {
+		if n.inj.Down(n.gidOf(static[i]), n.gidOf(static[i+1]), at) {
+			blocked = true
+			break
+		}
+	}
+	if !blocked {
+		return static, false, nil
+	}
+	path = n.bfsPathAt(at, src, dst)
+	if path == nil {
+		return nil, false, fmt.Errorf("noc: %d and %d partitioned in %s at t=%dps",
+			n.gidOf(src), n.gidOf(dst), n.topo.Name(), at)
+	}
+	return path, true, nil
+}
+
+// bfsPathAt finds a shortest path over links alive at time at, or nil.
+// Neighbors are visited in the topology's sorted order, so the detour is
+// deterministic.
+func (n *Network) bfsPathAt(at sim.Time, src, dst int) []int {
+	parent := make([]int, n.topo.Nodes())
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[src] = -1
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, v := range n.topo.Neighbors(u) {
+			if parent[v] == -2 && !n.inj.Down(n.gidOf(u), n.gidOf(v), at) {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if parent[dst] == -2 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = parent[v] {
+		rev = append(rev, v)
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path
+}
+
+// SpanningTreeAt returns a BFS broadcast tree over links alive at time
+// at, plus the nodes unreachable from src (parent entry -2). The caller
+// delivers to unreachable nodes some other way (host forwarding).
+func (n *Network) SpanningTreeAt(at sim.Time, src int) (parent []int, unreachable []int) {
+	if !n.inj.AnyDown(at) {
+		p, err := SpanningTree(n.topo, src)
+		if err != nil {
+			// Shipped topologies are connected; only severed links can
+			// partition them, and those are handled below.
+			panic(err)
+		}
+		return p, nil
+	}
+	parent = make([]int, n.topo.Nodes())
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[src] = -1
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range n.topo.Neighbors(u) {
+			if parent[v] == -2 && !n.inj.Down(n.gidOf(u), n.gidOf(v), at) {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	for i, p := range parent {
+		if p == -2 {
+			unreachable = append(unreachable, i)
+		}
+	}
+	return parent, unreachable
+}

@@ -19,7 +19,7 @@ func testLink() LinkConfig {
 func TestSendSingleHopLatency(t *testing.T) {
 	n := NewNetwork(NewChain(4), testLink())
 	// 256 B at 25 GB/s = 10.24 ns serialization + 1 ns wire + 0.8 ns router.
-	arrive, hops := n.Send(0, 0, 1, 256)
+	arrive, hops, _ := n.Send(0, 0, 1, 256)
 	if hops != 1 {
 		t.Fatalf("hops = %d", hops)
 	}
@@ -31,9 +31,9 @@ func TestSendSingleHopLatency(t *testing.T) {
 
 func TestSendLatencyScalesWithHops(t *testing.T) {
 	n := NewNetwork(NewChain(8), testLink())
-	one, _ := n.Send(0, 0, 1, 128)
+	one, _, _ := n.Send(0, 0, 1, 128)
 	n2 := NewNetwork(NewChain(8), testLink())
-	three, hops := n2.Send(0, 0, 3, 128)
+	three, hops, _ := n2.Send(0, 0, 3, 128)
 	if hops != 3 {
 		t.Fatalf("hops = %d", hops)
 	}
@@ -44,7 +44,7 @@ func TestSendLatencyScalesWithHops(t *testing.T) {
 
 func TestSendToSelf(t *testing.T) {
 	n := NewNetwork(NewChain(4), testLink())
-	arrive, hops := n.Send(42, 2, 2, 64)
+	arrive, hops, _ := n.Send(42, 2, 2, 64)
 	if arrive != 42 || hops != 0 {
 		t.Fatalf("self-send = (%d, %d)", arrive, hops)
 	}
@@ -53,9 +53,9 @@ func TestSendToSelf(t *testing.T) {
 func TestFlitRounding(t *testing.T) {
 	n := NewNetwork(NewChain(2), testLink())
 	// 1 byte still occupies one 16-byte flit.
-	a1, _ := n.Send(0, 0, 1, 1)
+	a1, _, _ := n.Send(0, 0, 1, 1)
 	n2 := NewNetwork(NewChain(2), testLink())
-	a16, _ := n2.Send(0, 0, 1, 16)
+	a16, _, _ := n2.Send(0, 0, 1, 16)
 	if a1 != a16 {
 		t.Fatalf("sub-flit packet not rounded up: %d vs %d", a1, a16)
 	}
@@ -63,8 +63,8 @@ func TestFlitRounding(t *testing.T) {
 
 func TestLinkContentionSerializes(t *testing.T) {
 	n := NewNetwork(NewChain(2), testLink())
-	a, _ := n.Send(0, 0, 1, 256)
-	b, _ := n.Send(0, 0, 1, 256)
+	a, _, _ := n.Send(0, 0, 1, 256)
+	b, _, _ := n.Send(0, 0, 1, 256)
 	ser := sim.TransferTime(256, 25e9)
 	if b != a+ser {
 		t.Fatalf("second packet arrives %d, want %d", b, a+ser)
@@ -73,8 +73,8 @@ func TestLinkContentionSerializes(t *testing.T) {
 
 func TestOppositeDirectionsDontContend(t *testing.T) {
 	n := NewNetwork(NewChain(2), testLink())
-	a, _ := n.Send(0, 0, 1, 256)
-	b, _ := n.Send(0, 1, 0, 256)
+	a, _, _ := n.Send(0, 0, 1, 256)
+	b, _, _ := n.Send(0, 1, 0, 256)
 	if a != b {
 		t.Fatalf("bidirectional links should be independent: %d vs %d", a, b)
 	}
@@ -83,8 +83,8 @@ func TestOppositeDirectionsDontContend(t *testing.T) {
 func TestDisjointLinksConcurrent(t *testing.T) {
 	// Packets 0->1 and 2->3 use different links and finish simultaneously.
 	n := NewNetwork(NewChain(4), testLink())
-	a, _ := n.Send(0, 0, 1, 256)
-	b, _ := n.Send(0, 2, 3, 256)
+	a, _, _ := n.Send(0, 0, 1, 256)
+	b, _, _ := n.Send(0, 2, 3, 256)
 	if a != b {
 		t.Fatalf("disjoint transfers interfere: %d vs %d", a, b)
 	}
@@ -94,8 +94,8 @@ func TestCreditBackpressure(t *testing.T) {
 	cfg := testLink()
 	cfg.Credits = 1 // one packet in flight per link
 	n := NewNetwork(NewChain(2), cfg)
-	a, _ := n.Send(0, 0, 1, 64)
-	b, _ := n.Send(0, 0, 1, 64)
+	a, _, _ := n.Send(0, 0, 1, 64)
+	b, _, _ := n.Send(0, 0, 1, 64)
 	// With a single credit, the second packet cannot inject until the
 	// first's credit returns (after full delivery), so the gap must exceed
 	// pure serialization.
@@ -105,8 +105,8 @@ func TestCreditBackpressure(t *testing.T) {
 	}
 
 	deep := NewNetwork(NewChain(2), testLink())
-	c, _ := deep.Send(0, 0, 1, 64)
-	d, _ := deep.Send(0, 0, 1, 64)
+	c, _, _ := deep.Send(0, 0, 1, 64)
+	d, _, _ := deep.Send(0, 0, 1, 64)
 	if d-c != ser {
 		t.Fatalf("deep credits should be bus-limited: gap %d", d-c)
 	}
@@ -118,7 +118,7 @@ func TestBandwidthSaturation(t *testing.T) {
 	const packets = 1000
 	var last sim.Time
 	for i := 0; i < packets; i++ {
-		last, _ = n.Send(0, 0, 1, 256)
+		last, _, _ = n.Send(0, 0, 1, 256)
 	}
 	gbps := float64(packets*256) / (float64(last) / 1e12) / 1e9
 	if gbps < 23 || gbps > 25.1 {
@@ -128,7 +128,7 @@ func TestBandwidthSaturation(t *testing.T) {
 
 func TestBroadcastChain(t *testing.T) {
 	n := NewNetwork(NewChain(4), testLink())
-	arr, last := n.Broadcast(0, 1, 128)
+	arr, last, _ := n.Broadcast(0, 1, 128)
 	// Node 1 is the source; 0 and 2 are one hop, 3 is two hops.
 	if arr[1] != 0 {
 		t.Fatalf("source arrival %d", arr[1])
@@ -147,7 +147,7 @@ func TestBroadcastChain(t *testing.T) {
 func TestBroadcastReachesAllOnAllTopologies(t *testing.T) {
 	for _, topo := range allTopologies() {
 		n := NewNetwork(topo, testLink())
-		arr, last := n.Broadcast(0, 0, 64)
+		arr, last, _ := n.Broadcast(0, 0, 64)
 		for node, a := range arr {
 			if node != 0 && (a == 0 || a > last) {
 				t.Fatalf("%s: node %d arrival %d (last %d)", topo.Name(), node, a, last)

@@ -272,8 +272,11 @@ func checkNodes(t Topology, src, dst int) {
 }
 
 // SpanningTree returns, for each node, its parent in a BFS tree rooted at
-// src (parent[src] = -1). Broadcasts flood along this tree.
-func SpanningTree(t Topology, src int) []int {
+// src (parent[src] = -1). Broadcasts flood along this tree. An unreachable
+// node is reported as an error, not a panic: every shipped topology is
+// connected, but a fault plan severing links can legitimately partition
+// the reachable graph, and callers degrade gracefully instead of crashing.
+func SpanningTree(t Topology, src int) ([]int, error) {
 	parent := make([]int, t.Nodes())
 	for i := range parent {
 		parent[i] = -2 // unvisited
@@ -292,8 +295,8 @@ func SpanningTree(t Topology, src int) []int {
 	}
 	for i, p := range parent {
 		if p == -2 {
-			panic(fmt.Sprintf("noc: node %d unreachable from %d in %s", i, src, t.Name()))
+			return nil, fmt.Errorf("noc: node %d unreachable from %d in %s", i, src, t.Name())
 		}
 	}
-	return parent
+	return parent, nil
 }

@@ -140,7 +140,10 @@ func TestRouteMinimalProperty(t *testing.T) {
 func TestSpanningTree(t *testing.T) {
 	for _, topo := range allTopologies() {
 		for src := 0; src < topo.Nodes(); src++ {
-			parent := SpanningTree(topo, src)
+			parent, err := SpanningTree(topo, src)
+			if err != nil {
+				t.Fatalf("%s: %v", topo.Name(), err)
+			}
 			if parent[src] != -1 {
 				t.Fatalf("%s: root parent = %d", topo.Name(), parent[src])
 			}

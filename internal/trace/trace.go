@@ -157,14 +157,15 @@ type Replay struct {
 func (r *Replay) Name() string { return "TraceReplay" }
 
 // Run drives the system from the trace.
-func (r *Replay) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (r *Replay) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	perThread := make([][]Record, len(placement))
 	for _, rec := range r.T.Records {
 		slot := rec.Thread % len(placement)
 		perThread[slot] = append(perThread[slot], rec)
 	}
+	var spawnErr error
 	res := sys.RunKernel(profile, func(g *cores.Group) {
-		err := sys.SpawnPlaced(g, placement, func(tid int, c *cores.Ctx) {
+		spawnErr = sys.SpawnPlaced(g, placement, func(tid int, c *cores.Ctx) {
 			for _, rec := range perThread[tid] {
 				c.Compute(rec.Gap)
 				if rec.Write {
@@ -175,9 +176,9 @@ func (r *Replay) Run(sys *nmp.System, placement []int, profile bool) (nmp.Kernel
 			}
 			c.Drain()
 		})
-		if err != nil {
-			panic(err)
-		}
 	})
-	return res, uint64(len(r.T.Records))
+	if spawnErr != nil {
+		return nmp.KernelResult{}, 0, spawnErr
+	}
+	return res, uint64(len(r.T.Records)), nil
 }

@@ -86,7 +86,7 @@ func TestReplayRuns(t *testing.T) {
 	}
 	rp := &Replay{T: tr}
 	place := sys.DefaultPlacement()
-	res, n := rp.Run(sys, place, false)
+	res, n, _ := rp.Run(sys, place, false)
 	if n != 50 || res.Makespan == 0 {
 		t.Fatalf("replay: n=%d makespan=%d", n, res.Makespan)
 	}

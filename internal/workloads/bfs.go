@@ -81,7 +81,7 @@ func NewBFSFromGraph(g *CSR) *BFS {
 func (b *BFS) Name() string { return "BFS" }
 
 // Run implements Workload.
-func (b *BFS) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (b *BFS) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	g := b.G
 	t := len(placement)
 	parts := MakeParts(int(g.N), t)
@@ -184,8 +184,11 @@ func (b *BFS) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelRes
 			depth++
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
-	return res, hashUint32s(level)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, hashUint32s(level), nil
 }
 
 // ReferenceBFS computes BFS levels sequentially, for test verification.

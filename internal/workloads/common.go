@@ -12,10 +12,12 @@ import (
 // Workload is one benchmark. Run executes it on a freshly built system with
 // the given thread placement (see nmp.System.DefaultPlacement) and returns
 // the kernel result plus a checksum of the functional output, which must be
-// placement- and mechanism-independent.
+// placement- and mechanism-independent. An invalid placement (host slots on
+// an NMP-only workload, unknown DIMMs, oversubscribed cores) is reported as
+// an error, not a panic, so CLI callers can fail cleanly.
 type Workload interface {
 	Name() string
-	Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64)
+	Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error)
 }
 
 // bulkChunk is the granularity of bulk remote transfers in the BSP
@@ -190,11 +192,16 @@ func hashFloats(vs []float64) uint64 {
 	return h.Sum64()
 }
 
-// runPlaced wraps the spawn/run boilerplate shared by all workloads.
-func runPlaced(sys *nmp.System, placement []int, profile bool, body func(tid int, c *cores.Ctx)) nmp.KernelResult {
-	return sys.RunKernel(profile, func(g *cores.Group) {
-		if err := sys.SpawnPlaced(g, placement, body); err != nil {
-			panic(err)
-		}
+// runPlaced wraps the spawn/run boilerplate shared by all workloads. A
+// placement the system rejects comes back as an error for the caller to
+// surface (CLIs exit with a message; experiments treat it as a bug).
+func runPlaced(sys *nmp.System, placement []int, profile bool, body func(tid int, c *cores.Ctx)) (nmp.KernelResult, error) {
+	var spawnErr error
+	res := sys.RunKernel(profile, func(g *cores.Group) {
+		spawnErr = sys.SpawnPlaced(g, placement, body)
 	})
+	if spawnErr != nil {
+		return nmp.KernelResult{}, spawnErr
+	}
+	return res, nil
 }

@@ -42,7 +42,7 @@ func NewGEMV(rows, cols, iters int, seed int64) *GEMV {
 func (g *GEMV) Name() string { return "GEMV" }
 
 // Run implements Workload.
-func (g *GEMV) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (g *GEMV) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	t := len(placement)
 	rows := MakeParts(g.Rows, t)
 	rowBytes := uint64(g.Cols) * 4
@@ -81,12 +81,15 @@ func (g *GEMV) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelRe
 			c.Barrier()
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
 	flat := make([]float64, 0, g.Rows)
 	for _, v := range y {
 		flat = append(flat, float64(v))
 	}
-	return res, hashFloats(flat)
+	return res, hashFloats(flat), nil
 }
 
 // ReferenceGEMV computes y = A*x serially.
@@ -127,7 +130,7 @@ func NewHistogram(n, bins int, seed int64) *Histogram {
 func (h *Histogram) Name() string { return "HISTO" }
 
 // Run implements Workload.
-func (h *Histogram) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (h *Histogram) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	t := len(placement)
 	parts := MakeParts(len(h.Input), t)
 	parts.AllocState(sys, "histo.in", 4, mem.Private)
@@ -166,12 +169,15 @@ func (h *Histogram) Run(sys *nmp.System, placement []int, profile bool) (nmp.Ker
 		}
 		c.Barrier()
 	}
-	res := runPlaced(sys, placement, profile, body)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
 	vals := make([]int32, h.Bins)
 	for i, v := range final {
 		vals[i] = int32(v)
 	}
-	return res, hashUint32s(vals)
+	return res, hashUint32s(vals), nil
 }
 
 // ReferenceHistogram bins the input serially.

@@ -31,7 +31,7 @@ func stencil(up, down, left, right, center, power float32) float32 {
 }
 
 // Run implements Workload.
-func (h *Hotspot) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (h *Hotspot) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	t := len(placement)
 	parts := MakeParts(h.Rows, t) // row bands
 	rowBytes := uint64(h.Cols) * 4
@@ -105,7 +105,10 @@ func (h *Hotspot) Run(sys *nmp.System, placement []int, profile bool) (nmp.Kerne
 			c.Barrier()
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
 	sum := make([]float64, 0, h.Rows)
 	for r := 0; r < h.Rows; r++ {
 		var s float64
@@ -114,7 +117,7 @@ func (h *Hotspot) Run(sys *nmp.System, placement []int, profile bool) (nmp.Kerne
 		}
 		sum = append(sum, s)
 	}
-	return res, hashFloats(sum)
+	return res, hashFloats(sum), nil
 }
 
 // ReferenceHotspot runs the same stencil serially.

@@ -38,7 +38,7 @@ func NewKMeans(n, dims, k, iters int, seed int64) *KMeans {
 func (k *KMeans) Name() string { return "KM" }
 
 // Run implements Workload.
-func (k *KMeans) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (k *KMeans) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	n := len(k.Points)
 	dims := len(k.Points[0])
 	t := len(placement)
@@ -132,12 +132,15 @@ func (k *KMeans) Run(sys *nmp.System, placement []int, profile bool) (nmp.Kernel
 			c.Barrier()
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
 	flat := make([]float64, 0, k.K*dims)
 	for _, cvec := range centroids {
 		flat = append(flat, cvec...)
 	}
-	return res, hashFloats(flat)
+	return res, hashFloats(flat), nil
 }
 
 // ReferenceKMeans runs the same Lloyd iterations serially and returns the

@@ -19,7 +19,7 @@ type SyncBench struct {
 func (s *SyncBench) Name() string { return "SyncBench" }
 
 // Run implements Workload.
-func (s *SyncBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (s *SyncBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	parts := MakeParts(len(placement)*64, len(placement))
 	parts.AllocState(sys, "sync.pad", 64, mem.Private)
 	body := func(tid int, c *cores.Ctx) {
@@ -29,8 +29,11 @@ func (s *SyncBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.Ker
 			c.Barrier()
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
-	return res, uint64(s.Rounds)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, uint64(s.Rounds), nil
 }
 
 // P2PBench measures point-to-point IDC: one thread on SrcDIMM reads (or
@@ -48,7 +51,7 @@ func (p *P2PBench) Name() string { return "P2P" }
 
 // Run implements Workload. The checksum is the achieved bandwidth in MB/s
 // (rounded), so callers can read it without digging into the result.
-func (p *P2PBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (p *P2PBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	seg := sys.Space.MustAllocOn("p2p.buf", p.TotalBytes+uint64(p.TransferBytes), p.DstDIMM, mem.SharedRW)
 	body := func(tid int, c *cores.Ctx) {
 		if tid != 0 {
@@ -64,8 +67,11 @@ func (p *P2PBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.Kern
 		c.Drain()
 	}
 	placement = placementOn(sys, p.SrcDIMM, len(placement))
-	res := runPlaced(sys, placement, profile, body)
-	return res, bandwidthMBps(p.TotalBytes, res.Makespan)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, bandwidthMBps(p.TotalBytes, res.Makespan), nil
 }
 
 // AllPairsBench saturates disjoint adjacent-DIMM pairs simultaneously:
@@ -81,7 +87,7 @@ type AllPairsBench struct {
 func (a *AllPairsBench) Name() string { return "AllPairs" }
 
 // Run implements Workload; the checksum is aggregate bandwidth in MB/s.
-func (a *AllPairsBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (a *AllPairsBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	n := sys.Cfg.Geo.NumDIMMs
 	segs := make([]*mem.Segment, n)
 	for d := 0; d < n; d++ {
@@ -106,8 +112,11 @@ func (a *AllPairsBench) Run(sys *nmp.System, placement []int, profile bool) (nmp
 		}
 		c.Drain()
 	}
-	res := runPlaced(sys, place, profile, body)
-	return res, bandwidthMBps(a.TotalBytes*pairs, res.Makespan)
+	res, err := runPlaced(sys, place, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, bandwidthMBps(a.TotalBytes*pairs, res.Makespan), nil
 }
 
 // BroadcastBench measures one-to-all delivery of TotalBytes.
@@ -120,7 +129,7 @@ type BroadcastBench struct {
 func (b *BroadcastBench) Name() string { return "Broadcast" }
 
 // Run implements Workload; the checksum is delivery bandwidth in MB/s.
-func (b *BroadcastBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (b *BroadcastBench) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	seg := sys.Space.MustAllocOn("bc.buf", uint64(b.TotalBytes), b.SrcDIMM, mem.SharedRW)
 	body := func(tid int, c *cores.Ctx) {
 		if tid == 0 {
@@ -128,8 +137,11 @@ func (b *BroadcastBench) Run(sys *nmp.System, placement []int, profile bool) (nm
 		}
 	}
 	placement = placementOn(sys, b.SrcDIMM, len(placement))
-	res := runPlaced(sys, placement, profile, body)
-	return res, bandwidthMBps(uint64(b.TotalBytes), res.Makespan)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, bandwidthMBps(uint64(b.TotalBytes), res.Makespan), nil
 }
 
 // placementOn pins thread 0 to the given DIMM and parks the rest in order.

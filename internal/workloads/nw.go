@@ -40,7 +40,7 @@ func NewNW(l, blockRows int, seed int64) *NW {
 func (w *NW) Name() string { return "NW" }
 
 // Run implements Workload.
-func (w *NW) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (w *NW) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	l := len(w.X)
 	t := len(placement)
 	cols := l + 1
@@ -116,8 +116,11 @@ func (w *NW) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResu
 			c.Barrier()
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
-	return res, uint64(uint32(h[l][l]))<<32 | uint64(uint32(h[l/2][l/2]))
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, uint64(uint32(h[l][l]))<<32 | uint64(uint32(h[l/2][l/2])), nil
 }
 
 // ReferenceNW computes the alignment score serially.

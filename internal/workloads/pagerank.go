@@ -37,7 +37,7 @@ func (p *PageRank) Name() string {
 const damping = 0.85
 
 // Run implements Workload.
-func (p *PageRank) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (p *PageRank) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	g := p.G
 	t := len(placement)
 	parts := MakeParts(int(g.N), t)
@@ -144,8 +144,11 @@ func (p *PageRank) Run(sys *nmp.System, placement []int, profile bool) (nmp.Kern
 			c.Barrier()
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
-	return res, hashFloats(rank)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, hashFloats(rank), nil
 }
 
 // ReferencePageRank computes the same fixed-iteration PageRank serially.

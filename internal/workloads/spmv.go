@@ -36,7 +36,7 @@ func (s *SpMV) Name() string {
 }
 
 // Run implements Workload.
-func (s *SpMV) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (s *SpMV) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	a := s.A
 	t := len(placement)
 	parts := MakeParts(int(a.N), t)
@@ -112,8 +112,11 @@ func (s *SpMV) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelRe
 		}
 		_ = offBase
 	}
-	res := runPlaced(sys, placement, profile, body)
-	return res, hashFloats(y)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, hashFloats(y), nil
 }
 
 // ReferenceSpMV runs the same iterated multiply serially.

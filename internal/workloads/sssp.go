@@ -37,7 +37,7 @@ func (s *SSSP) Name() string {
 const inf = int32(1 << 30)
 
 // Run implements Workload.
-func (s *SSSP) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (s *SSSP) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	g := s.G
 	t := len(placement)
 	parts := MakeParts(int(g.N), t)
@@ -168,8 +168,11 @@ func (s *SSSP) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelRe
 			}
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
-	return res, hashUint32s(dist)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, hashUint32s(dist), nil
 }
 
 func clampU64(v, max uint64) uint64 {

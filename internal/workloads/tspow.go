@@ -32,7 +32,7 @@ func NewTSPow(n, window, chunk int, seed int64) *TSPow {
 func (ts *TSPow) Name() string { return "TS.Pow" }
 
 // Run implements Workload.
-func (ts *TSPow) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64) {
+func (ts *TSPow) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
 	n := len(ts.Series)
 	t := len(placement)
 	parts := MakeParts(n, t)
@@ -90,8 +90,11 @@ func (ts *TSPow) Run(sys *nmp.System, placement []int, profile bool) (nmp.Kernel
 			c.Barrier()
 		}
 	}
-	res := runPlaced(sys, placement, profile, body)
-	return res, uint64(globalMax.idx)
+	res, err := runPlaced(sys, placement, profile, body)
+	if err != nil {
+		return nmp.KernelResult{}, 0, err
+	}
+	return res, uint64(globalMax.idx), nil
 }
 
 // ReferenceTSPow computes the global maximum windowed power serially with

@@ -82,7 +82,7 @@ func TestBFSMatchesReferenceAcrossMechanisms(t *testing.T) {
 	want := hashUint32s(ReferenceBFS(bfs.G, bfs.Source))
 	for _, mech := range []nmp.Mechanism{nmp.MechDIMMLink, nmp.MechMCN, nmp.MechAIM, nmp.MechHostCPU} {
 		s := sys4(mech)
-		res, got := bfs.Run(s, s.DefaultPlacement(), false)
+		res, got, _ := bfs.Run(s, s.DefaultPlacement(), false)
 		if got != want {
 			t.Fatalf("%s: BFS result differs from reference", mech)
 		}
@@ -95,14 +95,14 @@ func TestBFSMatchesReferenceAcrossMechanisms(t *testing.T) {
 func TestBFSPlacementInvariant(t *testing.T) {
 	bfs := NewBFS(8, 7)
 	s1 := sys4(nmp.MechDIMMLink)
-	_, a := bfs.Run(s1, s1.DefaultPlacement(), false)
+	_, a, _ := bfs.Run(s1, s1.DefaultPlacement(), false)
 	// A rotated placement must not change the functional result.
 	s2 := sys4(nmp.MechDIMMLink)
 	place := s2.DefaultPlacement()
 	for i := range place {
 		place[i] = (place[i] + 1) % 4
 	}
-	_, b := bfs.Run(s2, place, false)
+	_, b, _ := bfs.Run(s2, place, false)
 	if a != b {
 		t.Fatal("BFS result depends on placement")
 	}
@@ -114,7 +114,7 @@ func TestSSSPMatchesReference(t *testing.T) {
 	for _, bc := range []bool{false, true} {
 		w.Broadcast = bc
 		s := sys4(nmp.MechDIMMLink)
-		_, got := w.Run(s, s.DefaultPlacement(), false)
+		_, got, _ := w.Run(s, s.DefaultPlacement(), false)
 		if got != want {
 			t.Fatalf("SSSP(bc=%v) differs from reference", bc)
 		}
@@ -125,12 +125,12 @@ func TestPageRankMatchesReference(t *testing.T) {
 	pr := NewPageRank(8, 5, 11)
 	ref := ReferencePageRank(pr.G, 5)
 	s := sys4(nmp.MechDIMMLink)
-	_, _ = pr.Run(s, s.DefaultPlacement(), false)
+	_, _, _ = pr.Run(s, s.DefaultPlacement(), false)
 	// Re-run functionally via a second system and compare rank vectors
 	// against the reference with tolerance (float association differs).
 	pr2 := NewPageRank(8, 5, 11)
 	s2 := sys4(nmp.MechAIM)
-	_, chk := pr2.Run(s2, s2.DefaultPlacement(), false)
+	_, chk, _ := pr2.Run(s2, s2.DefaultPlacement(), false)
 	if chk == 0 {
 		t.Fatal("zero checksum")
 	}
@@ -147,7 +147,7 @@ func TestHotspotMatchesReference(t *testing.T) {
 	hs := NewHotspot(32, 32, 4)
 	ref := ReferenceHotspot(32, 32, 4)
 	s := sys4(nmp.MechDIMMLink)
-	res, chk := hs.Run(s, s.DefaultPlacement(), false)
+	res, chk, _ := hs.Run(s, s.DefaultPlacement(), false)
 	refSums := make([]float64, 0, 32)
 	for r := 0; r < 32; r++ {
 		var rs float64
@@ -168,15 +168,15 @@ func TestKMeansMatchesReference(t *testing.T) {
 	km := NewKMeans(512, 4, 4, 3, 9)
 	ref := ReferenceKMeans(km.Points, 4, 3)
 	s := sys4(nmp.MechDIMMLink)
-	_, _ = km.Run(s, s.DefaultPlacement(), false)
+	_, _, _ = km.Run(s, s.DefaultPlacement(), false)
 	// Cross-check: run on AIM; centroid checksums must agree between
 	// mechanisms (same thread count => same summation order).
 	s2 := sys4(nmp.MechAIM)
 	km2 := NewKMeans(512, 4, 4, 3, 9)
-	_, chk2 := km2.Run(s2, s2.DefaultPlacement(), false)
+	_, chk2, _ := km2.Run(s2, s2.DefaultPlacement(), false)
 	s3 := sys4(nmp.MechMCN)
 	km3 := NewKMeans(512, 4, 4, 3, 9)
-	_, chk3 := km3.Run(s3, s3.DefaultPlacement(), false)
+	_, chk3, _ := km3.Run(s3, s3.DefaultPlacement(), false)
 	if chk2 != chk3 {
 		t.Fatal("K-Means result differs across mechanisms")
 	}
@@ -199,7 +199,7 @@ func TestNWMatchesReference(t *testing.T) {
 	want := ReferenceNW(w.X, w.Y, w.Match, w.Mismatch, w.Gap)
 	for _, mech := range []nmp.Mechanism{nmp.MechDIMMLink, nmp.MechHostCPU} {
 		s := sys4(mech)
-		_, chk := w.Run(s, s.DefaultPlacement(), false)
+		_, chk, _ := w.Run(s, s.DefaultPlacement(), false)
 		if int32(chk>>32) != want {
 			t.Fatalf("%s: NW score %d, want %d", mech, int32(chk>>32), want)
 		}
@@ -214,7 +214,7 @@ func TestSpMVMatchesReference(t *testing.T) {
 		w2 := NewSpMV(8, 2, 5)
 		w2.Broadcast = bc
 		s := sys4(nmp.MechDIMMLink)
-		_, got := w2.Run(s, s.DefaultPlacement(), false)
+		_, got, _ := w2.Run(s, s.DefaultPlacement(), false)
 		if got != want {
 			t.Fatalf("SpMV(bc=%v) differs from reference", bc)
 		}
@@ -224,7 +224,7 @@ func TestSpMVMatchesReference(t *testing.T) {
 func TestTSPowMatchesReference(t *testing.T) {
 	w := NewTSPow(4096, 32, 256, 13)
 	s := sys4(nmp.MechDIMMLink)
-	_, got := w.Run(s, s.DefaultPlacement(), false)
+	_, got, _ := w.Run(s, s.DefaultPlacement(), false)
 	want := ReferenceTSPow(w.Series, 32, 256, s.Threads())
 	if got != uint64(want) {
 		t.Fatalf("TS.Pow idx %d, want %d", got, want)
@@ -234,9 +234,9 @@ func TestTSPowMatchesReference(t *testing.T) {
 func TestDIMMLinkBeatsMCNOnBFS(t *testing.T) {
 	bfs := NewBFS(9, 21)
 	sDL := sys4(nmp.MechDIMMLink)
-	rDL, _ := bfs.Run(sDL, sDL.DefaultPlacement(), false)
+	rDL, _, _ := bfs.Run(sDL, sDL.DefaultPlacement(), false)
 	sMCN := sys4(nmp.MechMCN)
-	rMCN, _ := bfs.Run(sMCN, sMCN.DefaultPlacement(), false)
+	rMCN, _, _ := bfs.Run(sMCN, sMCN.DefaultPlacement(), false)
 	if rDL.Makespan >= rMCN.Makespan {
 		t.Fatalf("DIMM-Link (%d) not faster than MCN (%d) on BFS", rDL.Makespan, rMCN.Makespan)
 	}
@@ -245,9 +245,9 @@ func TestDIMMLinkBeatsMCNOnBFS(t *testing.T) {
 func TestSyncBenchHierBeatsMCN(t *testing.T) {
 	sb := &SyncBench{Interval: 500, Rounds: 20}
 	sDL := sys4(nmp.MechDIMMLink)
-	rDL, _ := sb.Run(sDL, sDL.DefaultPlacement(), false)
+	rDL, _, _ := sb.Run(sDL, sDL.DefaultPlacement(), false)
 	sMCN := sys4(nmp.MechMCN)
-	rMCN, _ := sb.Run(sMCN, sMCN.DefaultPlacement(), false)
+	rMCN, _, _ := sb.Run(sMCN, sMCN.DefaultPlacement(), false)
 	if rDL.Makespan >= rMCN.Makespan {
 		t.Fatalf("DIMM-Link sync (%d) not faster than MCN (%d)", rDL.Makespan, rMCN.Makespan)
 	}
@@ -257,7 +257,7 @@ func TestP2PBenchBandwidthOrdering(t *testing.T) {
 	run := func(mech nmp.Mechanism) uint64 {
 		s := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, mech))
 		b := &P2PBench{SrcDIMM: 0, DstDIMM: 1, TransferBytes: 4096, TotalBytes: 1 << 20}
-		_, mbps := b.Run(s, s.DefaultPlacement(), false)
+		_, mbps, _ := b.Run(s, s.DefaultPlacement(), false)
 		return mbps
 	}
 	dl := run(nmp.MechDIMMLink)
@@ -277,7 +277,7 @@ func TestAllPairsAggregateScaling(t *testing.T) {
 	run := func(mech nmp.Mechanism) uint64 {
 		s := nmp.MustNewSystem(nmp.DefaultConfig(4, 2, mech))
 		b := &AllPairsBench{TransferBytes: 4096, TotalBytes: 1 << 19}
-		_, mbps := b.Run(s, s.DefaultPlacement(), false)
+		_, mbps, _ := b.Run(s, s.DefaultPlacement(), false)
 		return mbps
 	}
 	dl := run(nmp.MechDIMMLink)
@@ -293,7 +293,7 @@ func TestAllPairsAggregateScaling(t *testing.T) {
 func TestBroadcastBench(t *testing.T) {
 	s := sys4(nmp.MechDIMMLink)
 	b := &BroadcastBench{SrcDIMM: 0, TotalBytes: 1 << 16}
-	res, mbps := b.Run(s, s.DefaultPlacement(), false)
+	res, mbps, _ := b.Run(s, s.DefaultPlacement(), false)
 	if mbps == 0 || res.Makespan == 0 {
 		t.Fatal("broadcast bench produced nothing")
 	}
@@ -311,7 +311,7 @@ func TestGEMVMatchesReference(t *testing.T) {
 		g2 := NewGEMV(256, 64, 2, 17)
 		g2.Broadcast = bc
 		s := sys4(nmp.MechDIMMLink)
-		_, got := g2.Run(s, s.DefaultPlacement(), false)
+		_, got, _ := g2.Run(s, s.DefaultPlacement(), false)
 		if got != want {
 			t.Fatalf("GEMV(bc=%v) differs from reference", bc)
 		}
@@ -323,7 +323,7 @@ func TestGEMVBroadcastBeatsGatherOnManyDIMMs(t *testing.T) {
 		g := NewGEMV(2048, 512, 2, 17)
 		g.Broadcast = bc
 		s := nmp.MustNewSystem(nmp.DefaultConfig(8, 4, nmp.MechDIMMLink))
-		res, _ := g.Run(s, s.DefaultPlacement(), false)
+		res, _, _ := g.Run(s, s.DefaultPlacement(), false)
 		return uint64(res.Makespan)
 	}
 	gather := run(false)
@@ -337,7 +337,7 @@ func TestHistogramMatchesReference(t *testing.T) {
 	h := NewHistogram(1<<14, 64, 5)
 	ref := ReferenceHistogram(h)
 	s := sys4(nmp.MechDIMMLink)
-	_, got := h.Run(s, s.DefaultPlacement(), false)
+	_, got, _ := h.Run(s, s.DefaultPlacement(), false)
 	vals := make([]int32, h.Bins)
 	var total uint64
 	for i, v := range ref {
@@ -357,7 +357,7 @@ func TestHistogramAcrossMechanisms(t *testing.T) {
 	var chks []uint64
 	for _, mech := range []nmp.Mechanism{nmp.MechDIMMLink, nmp.MechAIM, nmp.MechHostCPU} {
 		s := sys4(mech)
-		_, chk := h.Run(s, s.DefaultPlacement(), false)
+		_, chk, _ := h.Run(s, s.DefaultPlacement(), false)
 		chks = append(chks, chk)
 	}
 	if chks[0] != chks[1] || chks[1] != chks[2] {
