@@ -32,6 +32,19 @@ if [ "${1:-}" != "quick" ]; then
 
 	echo "== dlbench fault smoke (lossy run with a dead link must complete)"
 	go run ./cmd/dlbench -exp table1 -q -fault 'ber=1e-7,down=1-2@50us' >/dev/null
+
+	echo "== dlsim trace smoke (tracing must not change stdout)"
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go build -o "$tmp/dlsim" ./cmd/dlsim
+	"$tmp/dlsim" -workload p2p -metrics -sample 10000 >"$tmp/plain.txt"
+	"$tmp/dlsim" -workload p2p -metrics -sample 10000 -trace "$tmp/trace.jsonl" \
+		>"$tmp/traced.txt" 2>/dev/null
+	cmp "$tmp/plain.txt" "$tmp/traced.txt"
+	test -s "$tmp/trace.jsonl"
+
+	echo "== histogram benchmark smoke"
+	go test -bench BenchmarkHistogram -benchtime 100x -run '^$' ./internal/metrics/ >/dev/null
 fi
 
 echo "ci: OK"

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,8 +41,24 @@ func main() {
 
 		faultSpec = flag.String("fault", "", "link-fault plan applied to every DIMM-Link run, e.g. 'ber=1e-7,down=0-1@10us' (see dlsim -fault)")
 		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's error draws")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list || *id == "" {
 		fmt.Println("available experiments:")
@@ -119,5 +136,18 @@ func main() {
 	if len(targets) > 1 {
 		fmt.Fprintf(os.Stderr, "(total: %d experiments in %.1fs with %d jobs)\n",
 			len(targets), time.Since(grandStart).Seconds(), opts.Jobs)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

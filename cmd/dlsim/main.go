@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -20,31 +22,50 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/host"
+	"repro/internal/metrics"
 	"repro/internal/nmp"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		mech     = flag.String("mech", "dimm-link", "mechanism: dimm-link | mcn | aim | abc-dimm | host-cpu")
-		dimms    = flag.Int("dimms", 8, "number of DIMMs")
-		channels = flag.Int("channels", 4, "number of memory channels")
-		workload = flag.String("workload", "bfs", "workload: bfs | hotspot | kmeans | nw | pr | sssp | spmv | tspow | gemv | histo | p2p | sync")
-		scale    = flag.Int("scale", 14, "graph scale (2^scale vertices) / problem size class")
-		ef       = flag.Int("ef", 8, "graph edge factor")
-		iters    = flag.Int("iters", 4, "iterations (pr, kmeans, hotspot, spmv)")
-		seed     = flag.Int64("seed", 42, "input generator seed")
-		topology = flag.String("topology", "chain", "DIMM-Link topology: chain | ring | mesh | torus")
-		linkbw   = flag.Float64("linkbw", 25e9, "DIMM-Link per-link bandwidth (bytes/s)")
-		polling  = flag.String("polling", "", "polling mode override: base | base+itrpt | proxy | proxy+itrpt")
-		cxl      = flag.Bool("cxl", false, "disaggregated mode: inter-group traffic over CXL instead of host forwarding")
-		bcast    = flag.Bool("broadcast", false, "use the broadcast formulation (pr, sssp, spmv)")
-		profile  = flag.Bool("profile", false, "record the per-thread traffic matrix")
+		mech      = flag.String("mech", "dimm-link", "mechanism: dimm-link | mcn | aim | abc-dimm | host-cpu")
+		dimms     = flag.Int("dimms", 8, "number of DIMMs")
+		channels  = flag.Int("channels", 4, "number of memory channels")
+		workload  = flag.String("workload", "bfs", "workload: bfs | hotspot | kmeans | nw | pr | sssp | spmv | tspow | gemv | histo | p2p | sync")
+		scale     = flag.Int("scale", 14, "graph scale (2^scale vertices) / problem size class")
+		ef        = flag.Int("ef", 8, "graph edge factor")
+		iters     = flag.Int("iters", 4, "iterations (pr, kmeans, hotspot, spmv)")
+		seed      = flag.Int64("seed", 42, "input generator seed")
+		topology  = flag.String("topology", "chain", "DIMM-Link topology: chain | ring | mesh | torus")
+		linkbw    = flag.Float64("linkbw", 25e9, "DIMM-Link per-link bandwidth (bytes/s)")
+		polling   = flag.String("polling", "", "polling mode override: base | base+itrpt | proxy | proxy+itrpt")
+		cxl       = flag.Bool("cxl", false, "disaggregated mode: inter-group traffic over CXL instead of host forwarding")
+		bcast     = flag.Bool("broadcast", false, "use the broadcast formulation (pr, sssp, spmv)")
+		profile   = flag.Bool("profile", false, "record the per-thread traffic matrix")
 		faultSpec = flag.String("fault", "", "link-fault plan, e.g. 'ber=1e-7,down=0-1@10us,stall=2-3@5us+20us,degrade=1-2@0*0.5' (dimm-link only)")
 		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's error draws")
+
+		withMetrics = flag.Bool("metrics", false, "attach the observability layer and report latency percentiles and per-link utilization")
+		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (implies -metrics; stdout is unchanged by tracing)")
+		samplePd    = flag.Uint64("sample", 0, "sample link utilization every N ns of simulated time (implies -metrics; 0 disables)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := nmp.DefaultConfig(*dimms, *channels, nmp.Mechanism(*mech))
 	if *faultSpec != "" {
@@ -66,9 +87,34 @@ func main() {
 		}
 		cfg.Host.Mode = mode
 	}
+
+	// The observability layer is passive: an instrumented run is
+	// timing-identical to a bare one, and tracing only adds a side file.
+	// -trace alone therefore leaves stdout byte-identical to a bare run;
+	// the printed report is opted into with -metrics or -sample and is
+	// itself byte-identical with and without -trace.
+	var coll *metrics.Collector
+	var traceFile *os.File
+	report := *withMetrics || *samplePd > 0
+	if report || *tracePath != "" {
+		coll = metrics.NewCollector()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			traceFile = f
+			coll.Trace = metrics.NewTracer(f)
+		}
+		cfg.Metrics = coll
+	}
+
 	sys, err := nmp.NewSystem(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if coll != nil && *samplePd > 0 {
+		sys.StartSampler(sim.Time(*samplePd) * sim.Nanosecond)
 	}
 
 	w, err := buildWorkload(*workload, *scale, *ef, *iters, *seed, *bcast, sys)
@@ -120,6 +166,78 @@ func main() {
 	b := energy.Compute(energy.PaperParams(), in)
 	fmt.Printf("energy     %.4f J total (dram %.4f, idc %.4f, cores %.4f)\n",
 		b.Total, b.DRAM, b.IDC, b.Cores)
+
+	if report {
+		reportMetrics(coll, sys, res.Makespan)
+	}
+	if traceFile != nil {
+		if err := coll.Trace.Close(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dlsim: wrote %d trace events to %s\n",
+			coll.Trace.Events(), *tracePath)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// reportMetrics prints the observability summary: every recorded latency
+// histogram's percentiles, the per-link utilization of each DL link at
+// the makespan, and — when the sampler ran — the peak sampled value of
+// each series.
+func reportMetrics(coll *metrics.Collector, sys *nmp.System, makespan sim.Time) {
+	names := coll.Reg.HistNames()
+	lt := stats.NewTable("latency histograms (ns)",
+		"metric", "count", "p50", "p95", "p99", "p999", "mean", "max")
+	rows := 0
+	for _, name := range names {
+		h := coll.Reg.Hist(name)
+		if h.Count() == 0 {
+			continue
+		}
+		rows++
+		lt.Addf(name, fmt.Sprintf("%d", h.Count()),
+			float64(h.Quantile(0.50))/1000, float64(h.Quantile(0.95))/1000,
+			float64(h.Quantile(0.99))/1000, float64(h.Quantile(0.999))/1000,
+			h.Mean()/1000, float64(h.Max())/1000)
+	}
+	if rows > 0 {
+		fmt.Println()
+		lt.Render(os.Stdout)
+	}
+
+	if sys.Link != nil {
+		ut := stats.NewTable("per-link utilization over the kernel", "link", "utilization")
+		for gi, net := range sys.Link.Networks() {
+			for _, key := range net.LinkKeys() {
+				ut.Addf(fmt.Sprintf("g%d %s", gi, key), net.OneLinkUtilization(key, makespan))
+			}
+		}
+		fmt.Println()
+		ut.Render(os.Stdout)
+	}
+
+	if sp := sys.Sampler(); sp != nil {
+		st := stats.NewTable(fmt.Sprintf("sampled series (period %d ns)", sp.Period()/sim.Nanosecond),
+			"series", "samples", "mean", "max")
+		for _, s := range sp.Series() {
+			st.Addf(s.Name, fmt.Sprintf("%d", len(s.V)), s.Mean(), s.Max())
+		}
+		fmt.Println()
+		st.Render(os.Stdout)
+	}
 }
 
 func parsePolling(s string) (host.PollingMode, error) {

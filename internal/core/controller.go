@@ -85,6 +85,10 @@ func (c *Controller) HoldPacket(arrive sim.Time, bytes int, service func(admit s
 // TagHighWater reports the maximum concurrently-busy tag count seen.
 func (c *Controller) TagHighWater() int { return c.tags.HighWater }
 
+// TagsInUse reports how many transaction tags are busy at time at — the
+// metrics sampler's queue-depth probe. Read-only.
+func (c *Controller) TagsInUse(at sim.Time) int { return c.tags.InUse(at) }
+
 // DataBufHighWater reports the Data Buffer's byte high-water mark.
 func (c *Controller) DataBufHighWater() int { return c.dataBuf.highWater }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -116,6 +117,13 @@ type Config struct {
 	// DLL sizes the per-link retry/replay machinery exercised when Fault
 	// is active.
 	DLL DLLConfig
+
+	// Metrics optionally attaches the observability layer (latency
+	// histograms, per-link utilization probes, event tracing; see
+	// internal/metrics). Observation is passive — it never schedules
+	// events or reserves simulated resources — so a nil collector (the
+	// default) and an attached one produce timing-identical simulations.
+	Metrics *metrics.Collector
 }
 
 // DefaultConfig returns the paper's evaluated configuration: GRS links at
@@ -215,6 +223,7 @@ func NewLink(eng *sim.Engine, geo mem.Geometry, modules []*dram.Module, hostCfg 
 	for g := 0; g < cfg.NumGroups; g++ {
 		gr := &group{base: g * per, size: per}
 		gr.net = noc.NewNetwork(buildTopology(cfg.Topology, per), cfg.Link)
+		gr.net.SetMetrics(cfg.Metrics)
 		if l.flt != nil {
 			gids := make([]int, per)
 			for i := range gids {
@@ -250,6 +259,7 @@ func NewLink(eng *sim.Engine, geo mem.Geometry, modules []*dram.Module, hostCfg 
 		targets = nil
 	}
 	l.host = host.New(eng, geo, hostCfg, targets)
+	l.host.SetMetrics(cfg.Metrics)
 	return l
 }
 
@@ -359,11 +369,16 @@ func (l *Link) sendPacket(at sim.Time, src, dst int, wireBytes int) sim.Time {
 		l.ctrs.Inc("packets")
 		l.pktCount++
 		if l.cfg.ErrorEvery == 0 || l.pktCount%l.cfg.ErrorEvery != 0 {
+			if l.cfg.Metrics.Active() {
+				l.cfg.Metrics.Observe(metrics.HistPacketLat, arrive-at)
+				l.cfg.Metrics.Packet(at, "pkt", src, dst, wireBytes)
+			}
 			return arrive
 		}
 		// CRC failure at dst: no ACK returns; the source retransmits after
 		// a fixed retry timeout sized to a few worst-case round trips.
 		l.ctrs.Inc("link.retries")
+		l.cfg.Metrics.Observe(metrics.HistDLLRetry, retryTimeout)
 		t = arrive + retryTimeout
 	}
 }
@@ -385,10 +400,14 @@ func (l *Link) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, write 
 	} else {
 		l.ctrs.Inc("remote.reads")
 	}
+	var done sim.Time
 	if l.groupOf[srcDIMM] == l.groupOf[dst] {
-		return l.intraGroupAccess(at, srcDIMM, dst, addr, size, write)
+		done = l.intraGroupAccess(at, srcDIMM, dst, addr, size, write)
+	} else {
+		done = l.interGroupAccess(at, srcDIMM, dst, addr, size, write)
 	}
-	return l.interGroupAccess(at, srcDIMM, dst, addr, size, write)
+	l.cfg.Metrics.Observe(metrics.HistAccessLat, done-at)
+	return done
 }
 
 // intraGroupAccess routes packets over the DL-Bridge only (Figure 5-a).

@@ -15,6 +15,7 @@ package core
 
 import (
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/sim"
 )
@@ -135,12 +136,15 @@ func (l *Link) dllHop(g *group, u, v int, at sim.Time, wire int) (sim.Time, bool
 				l.ctrs.Inc("fault.corrupted")
 				l.ctrs.Inc("fault.replays")
 				l.ctrs.Inc("link.retries")
+				stall := hopArrive + l.ackDelay() - t
+				l.cfg.Metrics.Observe(metrics.HistDLLRetry, stall)
 				t = hopArrive + l.ackDelay()
 			case fault.VerdictDrop:
 				// The flits vanished; no NAK ever comes, so the
 				// retransmission timer fires, doubling each attempt.
 				l.ctrs.Inc("fault.timeouts")
 				l.ctrs.Inc("link.retries")
+				l.cfg.Metrics.Observe(metrics.HistDLLRetry, l.cfg.DLL.AckTimeout<<uint(attempt))
 				t += l.cfg.DLL.AckTimeout << uint(attempt)
 			}
 			if attempt+1 >= l.cfg.DLL.MaxRetries {
@@ -198,6 +202,10 @@ func (l *Link) sendPacketFI(at sim.Time, src, dst int, wireBytes int) sim.Time {
 			}
 			cur = path[i+1]
 		}
+	}
+	if l.cfg.Metrics.Active() {
+		l.cfg.Metrics.Observe(metrics.HistPacketLat, t-at)
+		l.cfg.Metrics.Packet(at, "pkt", src, dst, wireBytes)
 	}
 	return t
 }

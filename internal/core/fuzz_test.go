@@ -23,9 +23,9 @@ func FuzzDecode(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf)
-		f.Add(buf[:len(buf)-1])     // truncated
-		f.Add(append([]byte{}, 0))  // runt
-		f.Add(make([]byte, 4*16))   // zero flits with wrong LEN
+		f.Add(buf[:len(buf)-1])    // truncated
+		f.Add(append([]byte{}, 0)) // runt
+		f.Add(make([]byte, 4*16))  // zero flits with wrong LEN
 		flip := append([]byte{}, buf...)
 		flip[3] ^= 0x10
 		f.Add(flip) // corrupted header

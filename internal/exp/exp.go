@@ -43,6 +43,12 @@ type Options struct {
 	// own injector state from it. An inactive plan (nil, or no BER and
 	// no events) leaves every run byte-identical to a fault-free build.
 	Fault *fault.Plan
+
+	// SamplePeriod, when non-zero, arms each instrumented system's
+	// utilization sampler (nmp.System.StartSampler) with this period.
+	// It only takes effect on runs whose config carries a metrics
+	// collector; bare runs are unaffected.
+	SamplePeriod sim.Time
 }
 
 // DefaultOptions returns quick-mode options (seed 42, pool width
@@ -166,6 +172,9 @@ func execute(o Options, w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
 		tweak(&c)
 	}
 	sys := nmp.MustNewSystem(c)
+	if c.Metrics != nil && o.SamplePeriod > 0 {
+		sys.StartSampler(o.SamplePeriod)
+	}
 	if place == nil {
 		// Default: the NMP programming model co-locates each kernel thread
 		// with its data partition (as UPMEM-style offloading does). The
@@ -232,4 +241,15 @@ func speedup(baseline, t sim.Time) float64 {
 		return 0
 	}
 	return float64(baseline) / float64(t)
+}
+
+// geoMeanCell renders a geometric mean as a table cell, degrading to
+// "n/a" when the inputs contain a non-positive value (a pathological
+// speedup ratio) instead of aborting the whole experiment run.
+func geoMeanCell(vs []float64) interface{} {
+	gm, err := stats.GeoMean(vs)
+	if err != nil {
+		return "n/a"
+	}
+	return gm
 }

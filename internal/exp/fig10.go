@@ -128,9 +128,13 @@ func runFig10(o Options) []*stats.Table {
 
 	sum := stats.NewTable("Figure 10 — geomean speedups over CPU (paper: MCN 2.45x, AIM 3.17x, DL-base 5.30x, DL-opt 5.93x)",
 		"mechanism", "geomean-speedup", "dl-opt-vs-this")
-	opt := stats.GeoMean(perMech["dl-opt"])
+	opt, optErr := stats.GeoMean(perMech["dl-opt"])
 	for _, m := range fig10Mechs {
-		gm := stats.GeoMean(perMech[m])
+		gm, err := stats.GeoMean(perMech[m])
+		if err != nil || optErr != nil {
+			sum.Addf(m, "n/a", "n/a")
+			continue
+		}
 		sum.Addf(m, gm, opt/gm)
 	}
 	return []*stats.Table{tb, sum}

@@ -78,8 +78,8 @@ func runFig12(o Options) []*stats.Table {
 		}
 	}
 	sum := stats.NewTable("Figure 12 — geomeans", "ratio", "value", "paper")
-	sum.Addf("DIMM-Link vs MCN-BC", stats.GeoMean(ratios["dl-vs-mcn"]), "2.58x")
-	sum.Addf("DIMM-Link vs ABC-DIMM", stats.GeoMean(ratios["dl-vs-abc"]), "1.77x")
-	sum.Addf("AIM-BC vs DIMM-Link", stats.GeoMean(ratios["aim-vs-dl"]), ">1 (ideal bus)")
+	sum.Addf("DIMM-Link vs MCN-BC", geoMeanCell(ratios["dl-vs-mcn"]), "2.58x")
+	sum.Addf("DIMM-Link vs ABC-DIMM", geoMeanCell(ratios["dl-vs-abc"]), "1.77x")
+	sum.Addf("AIM-BC vs DIMM-Link", geoMeanCell(ratios["aim-vs-dl"]), ">1 (ideal bus)")
 	return []*stats.Table{tb, sum}
 }

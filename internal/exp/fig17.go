@@ -49,7 +49,7 @@ func runFig17(o Options) []*stats.Table {
 	}
 	sum := stats.NewTable("Figure 17 — geomean speedup over chain", "topology", "geomean")
 	for _, topo := range topos {
-		sum.Addf(string(topo), stats.GeoMean(per[topo]))
+		sum.Addf(string(topo), geoMeanCell(per[topo]))
 	}
 	return []*stats.Table{tb, sum}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/idc"
+	"repro/internal/metrics"
 	"repro/internal/nmp"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -22,6 +23,9 @@ func init() {
 
 // faultOut is one resilience job's result: the makespan plus the DLL and
 // routing recovery counters, extracted so the system is not retained.
+// Every job also carries a private metrics collector, so the resilience
+// tables can report how faults move the latency tail (pkt p50/p99, the
+// total DLL retry stall) alongside the recovery counters.
 type faultOut struct {
 	name     string
 	makespan sim.Time
@@ -30,23 +34,45 @@ type faultOut struct {
 	linkdown uint64
 	reroutes uint64
 	fallback uint64
+
+	pktP50, pktP99 float64 // per-packet link latency percentiles, ns
+	retryStallNs   float64 // summed DLL retry stall, ns
+	utilMax        float64 // highest-loaded DL link utilization
 }
 
 // faultRun executes one DIMM-Link run under the given plan and extracts
-// the recovery counters.
+// the recovery counters and latency tail.
 func faultRun(o Options, w workloads.Workload, cfg sysConfig, plan *fault.Plan, tweak func(*nmp.Config)) faultOut {
 	o.Fault = plan
-	out := execute(o, w, nmp.MechDIMMLink, cfg, tweak, nil, false)
+	coll := metrics.NewCollector()
+	out := execute(o, w, nmp.MechDIMMLink, cfg, func(c *nmp.Config) {
+		c.Metrics = coll
+		if tweak != nil {
+			tweak(c)
+		}
+	}, nil, false)
 	c := out.sys.Link.Counters()
-	return faultOut{
-		name:     w.Name(),
-		makespan: out.res.Makespan,
-		replays:  c.Get(idc.CtrFaultReplays),
-		timeouts: c.Get(idc.CtrFaultTimeouts),
-		linkdown: c.Get(idc.CtrFaultLinkDown),
-		reroutes: c.Get(idc.CtrFaultReroutes),
-		fallback: c.Get(idc.CtrFaultFallback),
+	pkt := coll.Reg.Hist(metrics.HistPacketLat)
+	fo := faultOut{
+		name:         w.Name(),
+		makespan:     out.res.Makespan,
+		replays:      c.Get(idc.CtrFaultReplays),
+		timeouts:     c.Get(idc.CtrFaultTimeouts),
+		linkdown:     c.Get(idc.CtrFaultLinkDown),
+		reroutes:     c.Get(idc.CtrFaultReroutes),
+		fallback:     c.Get(idc.CtrFaultFallback),
+		pktP50:       float64(pkt.Quantile(0.50)) / 1000,
+		pktP99:       float64(pkt.Quantile(0.99)) / 1000,
+		retryStallNs: float64(coll.Reg.Hist(metrics.HistDLLRetry).Sum()) / 1000,
 	}
+	for _, net := range out.sys.Link.Networks() {
+		for _, key := range net.LinkKeys() {
+			if u := net.OneLinkUtilization(key, out.res.Makespan); u > fo.utilMax {
+				fo.utilMax = u
+			}
+		}
+	}
+	return fo
 }
 
 // cleanBER is the vanishing bit-error rate used as the fault-free
@@ -57,18 +83,30 @@ func faultRun(o Options, w workloads.Workload, cfg sysConfig, plan *fault.Plan, 
 const cleanBER = 1e-18
 
 func runResilience(o Options) []*stats.Table {
+	main, tail := resilienceScenarioTables(o)
 	return []*stats.Table{
-		resilienceScenarios(o),
+		main,
 		resilienceBERSweep(o),
 		resilienceLinkDown(o),
+		tail,
 	}
 }
 
 // resilienceScenarios exercises every fault kind on one chain P2P
+// transfer (kept as a standalone entry point for the determinism tests;
+// it discards the companion tail-latency table).
+func resilienceScenarios(o Options) *stats.Table {
+	main, _ := resilienceScenarioTables(o)
+	return main
+}
+
+// resilienceScenarioTables runs every fault kind on one chain P2P
 // transfer: DIMM 0 streams through the 4-DIMM chain group to DIMM 3, so
 // every crossing traverses links 0-1, 1-2, 2-3 and a mid-chain fault is
-// on the only static path.
-func resilienceScenarios(o Options) *stats.Table {
+// on the only static path. The same job outputs feed two tables: the
+// recovery-counter view and the latency-tail view (how each fault kind
+// moves pkt p50/p99 and how much stall the DLL retries injected).
+func resilienceScenarioTables(o Options) (main, tail *stats.Table) {
 	type scenario struct {
 		name string
 		plan fault.Plan // Seed filled per job
@@ -97,14 +135,17 @@ func resilienceScenarios(o Options) *stats.Table {
 
 	tb := stats.NewTable("Resilience — chain P2P 0->3 under each fault kind (8D-4C, chain groups of 4)",
 		"scenario", "makespan-ms", "slowdown", "replays", "timeouts", "reroutes", "fallback-pkts")
+	lt := stats.NewTable("Resilience — latency tail under each fault kind (packet latency in ns; retry stall is the summed DLL stall)",
+		"scenario", "pkt-p50", "pkt-p99", "retry-stall-ns", "link-util-max")
 	base := outs[0].makespan
 	for i, r := range outs {
 		tb.Addf(scenarios[i].name, float64(r.makespan)/1e9,
 			float64(r.makespan)/float64(base),
 			fmt.Sprintf("%d", r.replays), fmt.Sprintf("%d", r.timeouts),
 			fmt.Sprintf("%d", r.reroutes), fmt.Sprintf("%d", r.fallback))
+		lt.Addf(scenarios[i].name, r.pktP50, r.pktP99, r.retryStallNs, r.utilMax)
 	}
-	return tb
+	return tb, lt
 }
 
 // resilienceBERSweep runs the Table IV suite on 8D-4C at increasing

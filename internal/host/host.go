@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -135,6 +136,9 @@ type Host struct {
 	pollTargets []int // DIMMs scanned by the periodic loop
 	ticker      *sim.Ticker
 	Counters    stats.Counters
+
+	// Observability, attached via SetMetrics; nil records nothing.
+	coll *metrics.Collector
 }
 
 // New builds a host over the geometry. pollTargets lists the DIMMs the
@@ -164,6 +168,10 @@ func (h *Host) Stop() {
 
 // Config returns the host configuration.
 func (h *Host) Config() Config { return h.cfg }
+
+// SetMetrics attaches an observability collector. Observation is passive:
+// it never reserves bus time, so instrumented runs are timing-identical.
+func (h *Host) SetMetrics(c *metrics.Collector) { h.coll = c }
 
 // pollOnce scans every poll target, occupying each target's channel bus.
 func (h *Host) pollOnce(now sim.Time) {
@@ -246,6 +254,10 @@ func (h *Host) Forward(at sim.Time, src, dst int, size uint32) sim.Time {
 	}
 	h.Counters.Inc("host.forwards")
 	h.Counters.Add("fwd.bytes", uint64(size))
+	if h.coll.Active() {
+		h.coll.Observe(metrics.HistHostFwd, end-at)
+		h.coll.Packet(at, "hostfwd", src, dst, int(size))
+	}
 	return end
 }
 

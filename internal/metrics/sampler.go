@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"repro/internal/sim"
+)
+
+// Probe reads one instantaneous scalar from the running system: a link's
+// utilization over [0, now], a controller's busy-tag count, a buffer's
+// occupancy. Probes must not schedule events or reserve resources.
+type Probe struct {
+	Name string
+	Fn   func(now sim.Time) float64
+}
+
+// Series is the recorded time series of one probe.
+type Series struct {
+	Name string
+	At   []sim.Time
+	V    []float64
+}
+
+// Mean returns the time-unweighted mean of the recorded samples.
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.V {
+		sum += v
+	}
+	return sum / float64(len(s.V))
+}
+
+// Max returns the largest recorded sample (zero when empty).
+func (s *Series) Max() float64 {
+	var m float64
+	for _, v := range s.V {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Sampler records probe values on a fixed simulated-time period, driven
+// by a sim.Ticker. Probes are visited in registration order every tick,
+// so the recorded series — and any trace events they emit — are
+// deterministic. Register all probes before Start.
+type Sampler struct {
+	period sim.Time
+	probes []Probe
+	series []*Series
+	ticker *sim.Ticker
+	coll   *Collector
+}
+
+// NewSampler creates a sampler with the given period. coll may be nil
+// (series are still recorded); when it carries a tracer, every sample is
+// also emitted as a trace event.
+func NewSampler(period sim.Time, coll *Collector) *Sampler {
+	return &Sampler{period: period, coll: coll}
+}
+
+// AddProbe registers a probe. Must be called before Start.
+func (s *Sampler) AddProbe(name string, fn func(now sim.Time) float64) {
+	s.probes = append(s.probes, Probe{Name: name, Fn: fn})
+	s.series = append(s.series, &Series{Name: name})
+}
+
+// Start arms the sampler on eng: the first sample is one period from now.
+func (s *Sampler) Start(eng *sim.Engine) {
+	if s.ticker != nil {
+		panic("metrics: sampler started twice")
+	}
+	s.ticker = sim.NewTicker(eng, s.period, s.tick)
+}
+
+// Stop halts sampling (end of simulation). Safe to call when never
+// started or already stopped.
+func (s *Sampler) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
+}
+
+func (s *Sampler) tick(now sim.Time) {
+	for i, p := range s.probes {
+		v := p.Fn(now)
+		sr := s.series[i]
+		sr.At = append(sr.At, now)
+		sr.V = append(sr.V, v)
+		s.coll.Sample(now, p.Name, v)
+	}
+}
+
+// Series returns the recorded series in probe registration order.
+func (s *Sampler) Series() []*Series { return s.series }
+
+// Period returns the sampling period.
+func (s *Sampler) Period() sim.Time { return s.period }

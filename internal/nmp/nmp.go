@@ -21,6 +21,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/idc"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -63,6 +64,12 @@ type Config struct {
 	// Mechanism-specific knobs.
 	DL  core.Config
 	AIM idc.AIMConfig
+
+	// Metrics optionally attaches the observability layer to every
+	// instrumentable component (DL network links, host forwarding, DL
+	// controllers). nil — the default — records nothing and leaves the
+	// simulation on the exact un-instrumented path.
+	Metrics *metrics.Collector
 }
 
 // DefaultConfig returns the Table V system for the given DIMM/channel
@@ -117,9 +124,10 @@ type System struct {
 	Link      *core.Link // non-nil only for MechDIMMLink
 	hostModel *host.Host
 
-	memory cores.Memory
-	nmpMem *nmpMemory // base memory for the end-of-kernel cache flush
-	Ctrs   stats.Counters
+	memory  cores.Memory
+	nmpMem  *nmpMemory // base memory for the end-of-kernel cache flush
+	Ctrs    stats.Counters
+	sampler *metrics.Sampler
 }
 
 // NewSystem builds a system from cfg.
@@ -140,7 +148,9 @@ func NewSystem(cfg Config) (*System, error) {
 
 	switch cfg.Mech {
 	case MechDIMMLink:
-		l := core.NewLink(eng, cfg.Geo, modules, cfg.Host, cfg.DL)
+		dl := cfg.DL
+		dl.Metrics = cfg.Metrics
+		l := core.NewLink(eng, cfg.Geo, modules, cfg.Host, dl)
 		s.IC, s.Link, s.hostModel = l, l, l.Host()
 	case MechMCN:
 		m := idc.NewMCN(eng, cfg.Geo, modules, cfg.Host)
@@ -157,6 +167,11 @@ func NewSystem(cfg Config) (*System, error) {
 		s.hostModel = host.New(eng, cfg.Geo, hc, nil)
 	default:
 		return nil, fmt.Errorf("nmp: unknown mechanism %q", cfg.Mech)
+	}
+	if s.hostModel != nil && cfg.Mech != MechDIMMLink {
+		// MechDIMMLink wires the collector through core.NewLink; the other
+		// host-touching mechanisms attach it here.
+		s.hostModel.SetMetrics(cfg.Metrics)
 	}
 
 	if cfg.Mech == MechHostCPU {
@@ -302,9 +317,55 @@ func (s *System) PartitionDIMM(i int) int {
 	return i * s.Cfg.Geo.NumDIMMs / s.Threads()
 }
 
+// StartSampler arms a periodic metrics sampler over the system's
+// instrumentable state: per-link utilization of every DL group network
+// (probe "linkutil.g<group>.<u>-><v>"), per-DIMM transaction-tag
+// occupancy ("tags.d<dimm>"), and mean host channel-bus occupation
+// ("hostbus.occ"). Probes register in a fixed order (groups, then link
+// keys sorted, then DIMMs, then the host), so the recorded series — and
+// any trace events — are deterministic. The sampler stops with the
+// system's Stop. Sampling is passive observation: it reads utilization
+// state but never reserves simulated resources, so an identically-seeded
+// run without a sampler produces the same timeline.
+func (s *System) StartSampler(period sim.Time) *metrics.Sampler {
+	if s.sampler != nil {
+		return s.sampler
+	}
+	sp := metrics.NewSampler(period, s.Cfg.Metrics)
+	if s.Link != nil {
+		for gi, net := range s.Link.Networks() {
+			net := net
+			for _, key := range net.LinkKeys() {
+				key := key
+				sp.AddProbe(fmt.Sprintf("linkutil.g%d.%s", gi, key),
+					func(now sim.Time) float64 { return net.OneLinkUtilization(key, now) })
+			}
+		}
+		for d, c := range s.Link.Controllers() {
+			c := c
+			sp.AddProbe(fmt.Sprintf("tags.d%d", d),
+				func(now sim.Time) float64 { return float64(c.TagsInUse(now)) })
+		}
+	}
+	if s.hostModel != nil {
+		h := s.hostModel
+		sp.AddProbe("hostbus.occ",
+			func(now sim.Time) float64 { return h.BusOccupation(now) })
+	}
+	sp.Start(s.Eng)
+	s.sampler = sp
+	return sp
+}
+
+// Sampler returns the sampler started by StartSampler, or nil.
+func (s *System) Sampler() *metrics.Sampler { return s.sampler }
+
 // Stop halts background activity (host polling). Call after the kernel
 // completes, before reading utilization stats.
 func (s *System) Stop() {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
 	if s.Link != nil {
 		s.Link.Stop()
 	} else if s.hostModel != nil {

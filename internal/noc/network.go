@@ -2,8 +2,10 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -90,6 +92,11 @@ type Network struct {
 	// fault plans are written in.
 	inj *fault.Injector
 	gid []int
+
+	// Observability, attached via SetMetrics. coll==nil records nothing;
+	// observation is passive and never changes any reservation, so an
+	// instrumented run is timing-identical to a bare one.
+	coll *metrics.Collector
 }
 
 // NewNetwork builds the link state for every edge of the topology.
@@ -147,9 +154,16 @@ func (n *Network) sendHop(u, v int, headAt sim.Time, size int) (sim.Time, error)
 	// hold it), then the link serializes packets FIFO.
 	start := l.creditAcquire(headAt, headAt+ser+n.cfg.WireLatency+n.cfg.RouterLatency)
 	start, end := l.bus.Reserve(start, ser)
-	_ = start
 	l.bytes += uint64(size)
 	l.packets++
+	if n.coll.Active() {
+		// Per-hop latency breakdown: credit/bus queueing ahead of the
+		// head, serialization, then the fixed wire+router relay pipeline.
+		n.coll.Observe(metrics.HistQueue, start-headAt)
+		n.coll.Observe(metrics.HistSerDes, ser)
+		n.coll.Observe(metrics.HistRelay, n.cfg.WireLatency+n.cfg.RouterLatency)
+		n.coll.Packet(start, "hop", u, v, size)
+	}
 	return end + n.cfg.WireLatency + n.cfg.RouterLatency, nil
 }
 
@@ -230,6 +244,10 @@ func BFSOrder(parent []int, src int) []int {
 	return order
 }
 
+// SetMetrics attaches an observability collector. A nil collector (the
+// default) records nothing.
+func (n *Network) SetMetrics(c *metrics.Collector) { n.coll = c }
+
 // LinkUtilization returns the utilization of every link over [0, now],
 // keyed by "u->v".
 func (n *Network) LinkUtilization(now sim.Time) map[string]float64 {
@@ -238,6 +256,32 @@ func (n *Network) LinkUtilization(now sim.Time) map[string]float64 {
 		out[fmt.Sprintf("%d->%d", k[0], k[1])] = l.bus.Utilization(now)
 	}
 	return out
+}
+
+// LinkKeys returns every "u->v" link key in deterministic sorted order —
+// the iteration order sampler probes and report tables must use.
+func (n *Network) LinkKeys() []string {
+	keys := make([]string, 0, len(n.links))
+	for k := range n.links {
+		keys = append(keys, fmt.Sprintf("%d->%d", k[0], k[1]))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OneLinkUtilization returns the utilization of the named "u->v" link over
+// [0, now]; unknown keys return 0. Probe closures use this so sampling a
+// single link does not allocate a whole map per tick.
+func (n *Network) OneLinkUtilization(key string, now sim.Time) float64 {
+	var u, v int
+	if _, err := fmt.Sscanf(key, "%d->%d", &u, &v); err != nil {
+		return 0
+	}
+	l, ok := n.links[[2]int{u, v}]
+	if !ok {
+		return 0
+	}
+	return l.bus.Utilization(now)
 }
 
 // TotalLinkBytes returns the sum of bytes carried over all links (a packet

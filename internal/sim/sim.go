@@ -156,10 +156,32 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 // order: a DRAM data bus, a SerDes lane, the host memory channel during
 // forwarding. Reserving time on the line returns when the transfer starts
 // and ends; the caller schedules its own completion event.
+//
+// Utilization accounting distinguishes booked time from elapsed time:
+// reservations may extend beyond the clock (the host polling loop books
+// future ticks, pipelined senders book ahead of the packet in flight), so
+// Utilization(now) counts only the booked time that falls inside [0, now].
+// Recent spans are kept until a utilization query retires them; back-to-
+// back bookings coalesce into one span, and the span list is folded into a
+// settled total when it grows past a small cap, so memory stays O(1) per
+// line regardless of traffic.
 type BusyLine struct {
 	busyUntil Time
-	busyTotal Time // accumulated occupied time, for utilization stats
+	busyTotal Time // cumulative booked time, including bookings beyond any query
+	settled   Time // booked time in spans already folded out of pending
+	pending   []busySpan
 }
+
+// busySpan is one contiguous booked interval [start, end).
+type busySpan struct {
+	start, end Time
+}
+
+// busyPendingCap bounds the unfolded span list. Folding drops a span's
+// position but keeps its duration; it only loses precision for a later
+// Utilization query earlier than the folded span's end, which the final
+// clamp in busyUpTo keeps from ever pushing utilization past 1.
+const busyPendingCap = 64
 
 // Reserve books dur picoseconds on the line no earlier than at, returning
 // the start and end of the booked slot.
@@ -171,21 +193,66 @@ func (b *BusyLine) Reserve(at Time, dur Time) (start, end Time) {
 	end = start + dur
 	b.busyUntil = end
 	b.busyTotal += dur
+	if dur > 0 {
+		if n := len(b.pending); n > 0 && b.pending[n-1].end == start {
+			b.pending[n-1].end = end // back-to-back: extend the open span
+		} else {
+			b.pending = append(b.pending, busySpan{start, end})
+			if len(b.pending) > busyPendingCap {
+				// Fold the oldest half; these are the earliest-ending
+				// spans, long past by the time anyone queries.
+				half := len(b.pending) / 2
+				for _, s := range b.pending[:half] {
+					b.settled += s.end - s.start
+				}
+				b.pending = append(b.pending[:0], b.pending[half:]...)
+			}
+		}
+	}
 	return start, end
 }
 
 // FreeAt returns the earliest time the line becomes free.
 func (b *BusyLine) FreeAt() Time { return b.busyUntil }
 
-// BusyTotal returns the cumulative time the line has been occupied.
+// BusyTotal returns the cumulative booked time, including reservations
+// extending beyond the current clock.
 func (b *BusyLine) BusyTotal() Time { return b.busyTotal }
 
+// busyUpTo returns the booked time inside [0, now], retiring fully-past
+// spans into the settled total. Queries are expected to be non-decreasing
+// in now (end-of-run reports and the metrics sampler both are); the final
+// clamp guarantees the result never exceeds now even if a span was folded
+// early.
+func (b *BusyLine) busyUpTo(now Time) Time {
+	i := 0
+	for i < len(b.pending) && b.pending[i].end <= now {
+		b.settled += b.pending[i].end - b.pending[i].start
+		i++
+	}
+	if i > 0 {
+		b.pending = append(b.pending[:0], b.pending[i:]...)
+	}
+	busy := b.settled
+	for _, s := range b.pending {
+		if s.start >= now {
+			break
+		}
+		busy += now - s.start // s.end > now here: the span straddles now
+	}
+	if busy > now {
+		busy = now
+	}
+	return busy
+}
+
 // Utilization returns the fraction of [0, now] the line was occupied.
+// Time booked beyond now is excluded, so the result is always in [0, 1].
 func (b *BusyLine) Utilization(now Time) float64 {
 	if now == 0 {
 		return 0
 	}
-	return float64(b.busyTotal) / float64(now)
+	return float64(b.busyUpTo(now)) / float64(now)
 }
 
 // Pool models a resource with K interchangeable slots served in FIFO order
@@ -233,6 +300,19 @@ func (p *Pool) Acquire(at Time, dur Time) (start, end Time) {
 
 // Size returns the slot count.
 func (p *Pool) Size() int { return len(p.freeAt) }
+
+// InUse returns how many slots are busy at time at (booked past at, or
+// held open by AcquireSlot). Used by the metrics sampler's queue-depth
+// probes; it never mutates the pool.
+func (p *Pool) InUse(at Time) int {
+	busy := 0
+	for _, f := range p.freeAt {
+		if f > at {
+			busy++
+		}
+	}
+	return busy
+}
 
 // AcquireSlot books the earliest-free slot starting no earlier than at,
 // with the release time not yet known (the slot stays busy until

@@ -310,3 +310,129 @@ func TestPoolFIFOFairness(t *testing.T) {
 		ends = append(ends, e)
 	}
 }
+
+func TestBusyLineUtilizationClamped(t *testing.T) {
+	// Regression: reservations extending beyond the query time used to be
+	// counted in full, letting Utilization exceed 1.0 (the host polling
+	// loop books future ticks). Only the booked time inside [0, now] may
+	// count.
+	var b BusyLine
+	b.Reserve(0, 100) // [0, 100): fully past at now=50? no — straddles it
+	if u := b.Utilization(50); u != 1.0 {
+		t.Fatalf("Utilization(50) = %v, want 1.0 (line busy the whole window)", u)
+	}
+	b.Reserve(200, 1000) // [200, 1200): mostly in the future at now=250
+	if u := b.Utilization(250); u != (100.0+50.0)/250.0 {
+		t.Fatalf("Utilization(250) = %v, want 0.6", u)
+	}
+	// BusyTotal still reports the full booked time, including the future.
+	if b.BusyTotal() != 1100 {
+		t.Fatalf("BusyTotal = %d, want 1100", b.BusyTotal())
+	}
+	if u := b.Utilization(1200); u != 1100.0/1200.0 {
+		t.Fatalf("Utilization(1200) = %v, want %v", u, 1100.0/1200.0)
+	}
+}
+
+func TestBusyLineUtilizationNeverExceedsOne(t *testing.T) {
+	// Property: for any reservation pattern and any monotone query
+	// sequence, utilization stays in [0, 1].
+	f := func(reqs []uint16, probes []uint16) bool {
+		var b BusyLine
+		var at Time
+		for _, r := range reqs {
+			at += Time(r % 64)
+			b.Reserve(at, Time(r%1024)) // durations routinely pass probes
+		}
+		var now Time
+		for _, p := range probes {
+			now += Time(p)
+			u := b.Utilization(now)
+			if u < 0 || u > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyLineFoldExact(t *testing.T) {
+	// Many gapped reservations overflow the pending-span cap; folding must
+	// not change the answer for queries at or beyond the folded spans.
+	var b BusyLine
+	var booked Time
+	for i := 0; i < 10*busyPendingCap; i++ {
+		at := Time(i) * 100
+		b.Reserve(at, 30) // 30 busy, 70 idle per period
+		booked += 30
+	}
+	end := Time(10*busyPendingCap-1)*100 + 30
+	if got := b.Utilization(end); got != float64(booked)/float64(end) {
+		t.Fatalf("Utilization(%d) = %v, want %v", end, got, float64(booked)/float64(end))
+	}
+	// Back-to-back reservations coalesce: the pending list stays at one
+	// span no matter how many contiguous bookings arrive.
+	var c BusyLine
+	for i := 0; i < 10*busyPendingCap; i++ {
+		c.Reserve(0, 10)
+	}
+	if len(c.pending) != 1 {
+		t.Fatalf("contiguous bookings left %d pending spans, want 1", len(c.pending))
+	}
+	if u := c.Utilization(Time(10 * busyPendingCap * 10)); u != 1.0 {
+		t.Fatalf("fully busy line utilization = %v, want 1.0", u)
+	}
+}
+
+func TestPoolHighWaterInterleaved(t *testing.T) {
+	// HighWater counts slots busy at acquisition time, before booking the
+	// new one, across both Acquire and AcquireSlot.
+	p := NewPool(3)
+	p.Acquire(0, 100)            // busy seen: 0
+	slot, _ := p.AcquireSlot(10) // busy seen: 1
+	p.Acquire(20, 100)           // busy seen: 2
+	if p.HighWater != 2 {
+		t.Fatalf("HighWater = %d, want 2", p.HighWater)
+	}
+	p.ReleaseSlot(slot, 50)
+	p.Acquire(60, 100) // busy seen: 2 (held slot released, two Acquires live)
+	if p.HighWater != 2 {
+		t.Fatalf("HighWater after release = %d, want 2", p.HighWater)
+	}
+	p.Acquire(70, 100) // busy seen: 3 — every slot occupied
+	if p.HighWater != 3 {
+		t.Fatalf("HighWater at saturation = %d, want 3", p.HighWater)
+	}
+	if got := p.InUse(75); got != 3 {
+		t.Fatalf("InUse(75) = %d, want 3", got)
+	}
+	if got := p.InUse(1000); got != 0 {
+		t.Fatalf("InUse(1000) = %d, want 0", got)
+	}
+}
+
+func TestPoolEarliestFreeTieBreak(t *testing.T) {
+	// When several slots free at the same instant, Acquire and AcquireSlot
+	// must pick the lowest-indexed one so replays are deterministic.
+	p := NewPool(3)
+	for i := 0; i < 3; i++ {
+		p.Acquire(0, 100) // all slots now free at 100
+	}
+	slot, start := p.AcquireSlot(0)
+	if slot != 0 || start != 100 {
+		t.Fatalf("AcquireSlot picked slot %d at %d, want slot 0 at 100", slot, start)
+	}
+	p.ReleaseSlot(slot, 200)
+	// Acquire must also prefer the earliest-free slot over later ones:
+	// slot 0 frees at 200, slots 1 and 2 at 100 — ties among 1,2 go to 1.
+	_, end := p.Acquire(0, 50)
+	if end != 150 {
+		t.Fatalf("Acquire booked to %d, want 150 (earliest-free slot)", end)
+	}
+	if p.freeAt[1] != 150 || p.freeAt[2] != 100 {
+		t.Fatalf("tie broke to wrong slot: freeAt = %v", p.freeAt)
+	}
+}

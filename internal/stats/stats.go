@@ -50,14 +50,18 @@ func (c *Counters) Merge(other *Counters) {
 // Reset zeroes all counters.
 func (c *Counters) Reset() { c.m = nil }
 
-// Dist accumulates a distribution of sample values (latencies, hop counts).
-// The zero value is ready to use.
+// Dist accumulates a distribution of sample values (latencies, hop counts)
+// using Welford's online algorithm. The naive sum-of-squares form
+// catastrophically cancels when the mean dwarfs the spread — picosecond
+// timestamps in the 1e9 range with nanosecond-scale variation lose every
+// significant digit of the variance — so the running mean and the centered
+// second moment are carried instead. The zero value is ready to use.
 type Dist struct {
-	N     uint64
-	Sum   float64
-	SumSq float64
-	MinV  float64
-	MaxV  float64
+	N    uint64
+	MinV float64
+	MaxV float64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
 }
 
 // Observe adds one sample.
@@ -69,8 +73,9 @@ func (d *Dist) Observe(v float64) {
 		d.MaxV = v
 	}
 	d.N++
-	d.Sum += v
-	d.SumSq += v * v
+	delta := v - d.mean
+	d.mean += delta / float64(d.N)
+	d.m2 += delta * (v - d.mean)
 }
 
 // Mean returns the sample mean, or zero when empty.
@@ -78,23 +83,27 @@ func (d *Dist) Mean() float64 {
 	if d.N == 0 {
 		return 0
 	}
-	return d.Sum / float64(d.N)
+	return d.mean
 }
+
+// Sum returns the sum of all samples.
+func (d *Dist) Sum() float64 { return d.mean * float64(d.N) }
 
 // Std returns the population standard deviation, or zero when empty.
 func (d *Dist) Std() float64 {
 	if d.N == 0 {
 		return 0
 	}
-	m := d.Mean()
-	v := d.SumSq/float64(d.N) - m*m
+	v := d.m2 / float64(d.N)
 	if v < 0 {
 		v = 0
 	}
 	return math.Sqrt(v)
 }
 
-// Merge folds other into d.
+// Merge folds other into d using the parallel-variance combination
+// (Chan et al.), which is as well-conditioned as Welford itself: the
+// experiment harness merges per-worker Dists without losing precision.
 func (d *Dist) Merge(other *Dist) {
 	if other.N == 0 {
 		return
@@ -109,29 +118,34 @@ func (d *Dist) Merge(other *Dist) {
 	if other.MaxV > d.MaxV {
 		d.MaxV = other.MaxV
 	}
+	nA, nB := float64(d.N), float64(other.N)
+	n := nA + nB
+	delta := other.mean - d.mean
+	d.mean += delta * nB / n
+	d.m2 += other.m2 + delta*delta*nA*nB/n
 	d.N += other.N
-	d.Sum += other.Sum
-	d.SumSq += other.SumSq
 }
 
 func (d *Dist) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f min=%.0f max=%.0f", d.N, d.Mean(), d.MinV, d.MaxV)
 }
 
-// GeoMean returns the geometric mean of vs. All values must be positive;
-// an empty slice returns zero.
-func GeoMean(vs []float64) float64 {
+// GeoMean returns the geometric mean of vs. All values must be positive:
+// a non-positive value yields an error (not a panic — a single degenerate
+// speedup ratio must not take down a whole experiment run). An empty
+// slice returns zero with no error.
+func GeoMean(vs []float64) (float64, error) {
 	if len(vs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
 	for _, v := range vs {
 		if v <= 0 {
-			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", v))
+			return 0, fmt.Errorf("stats: GeoMean of non-positive value %v", v)
 		}
 		sum += math.Log(v)
 	}
-	return math.Exp(sum / float64(len(vs)))
+	return math.Exp(sum / float64(len(vs))), nil
 }
 
 // Table renders aligned rows for the experiment harness. Cells are strings;

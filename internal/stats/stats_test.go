@@ -85,30 +85,65 @@ func TestDistMergeProperty(t *testing.T) {
 		}
 		a.Merge(&b)
 		return a.N == w.N && a.MinV == w.MinV && a.MaxV == w.MaxV &&
-			math.Abs(a.Sum-w.Sum) < 1e-6*(1+math.Abs(w.Sum))
+			math.Abs(a.Sum()-w.Sum()) < 1e-6*(1+math.Abs(w.Sum()))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestGeoMean(t *testing.T) {
-	got := GeoMean([]float64{1, 4, 16})
-	if math.Abs(got-4) > 1e-9 {
-		t.Fatalf("GeoMean = %v, want 4", got)
+// TestDistWelfordLargeOffset is the regression the Welford rewrite exists
+// for: samples with a huge mean and a tiny spread, exactly the shape of
+// picosecond latency samples deep into a run. The old Sum/SumSq form
+// computes SumSq/N - mean^2 as the difference of two ~1e24 quantities and
+// loses the variance entirely (it reported 0, or garbage from rounding).
+func TestDistWelfordLargeOffset(t *testing.T) {
+	const offset = 1e12 // ~1 second in picoseconds
+	var d Dist
+	for _, v := range []float64{offset + 2, offset + 4, offset + 4, offset + 4,
+		offset + 5, offset + 5, offset + 7, offset + 9} {
+		d.Observe(v)
 	}
-	if GeoMean(nil) != 0 {
+	// Welford keeps ~5 significant digits here; the old formula computed
+	// SumSq/N - mean^2 = 0.0 exactly (all digits cancelled).
+	if got := d.Std(); math.Abs(got-2) > 1e-3 {
+		t.Fatalf("Std with offset %g = %v, want 2", offset, got)
+	}
+	if got := d.Mean(); math.Abs(got-(offset+5)) > 1e-3 {
+		t.Fatalf("Mean = %v, want %v", got, offset+5)
+	}
+	// The same property must survive a parallel-variance merge.
+	var a, b Dist
+	for i, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		if i%2 == 0 {
+			a.Observe(offset + v)
+		} else {
+			b.Observe(offset + v)
+		}
+	}
+	a.Merge(&b)
+	if got := a.Std(); math.Abs(got-2) > 1e-3 {
+		t.Fatalf("merged Std with offset = %v, want 2", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean = %v, %v, want 4", got, err)
+	}
+	if v, err := GeoMean(nil); v != 0 || err != nil {
 		t.Fatal("GeoMean(nil) != 0")
 	}
 }
 
-func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("GeoMean with zero did not panic")
-		}
-	}()
-	GeoMean([]float64{1, 0})
+func TestGeoMeanNonPositive(t *testing.T) {
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("GeoMean with zero returned no error")
+	}
+	if _, err := GeoMean([]float64{4, -2}); err == nil {
+		t.Fatal("GeoMean with negative returned no error")
+	}
 }
 
 func TestTableRender(t *testing.T) {
