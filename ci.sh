@@ -45,6 +45,11 @@ if [ "${1:-}" != "quick" ]; then
 
 	echo "== histogram benchmark smoke"
 	go test -bench BenchmarkHistogram -benchtime 100x -run '^$' ./internal/metrics/ >/dev/null
+
+	echo "== dlserve end-to-end smoke (HTTP result == CLI stdout, cache hit, graceful drain)"
+	go build -o "$tmp/dlserve" ./cmd/dlserve
+	go build -o "$tmp/dlsmoke" ./cmd/dlsmoke
+	"$tmp/dlsmoke" -serve "$tmp/dlserve" -sim "$tmp/dlsim" >/dev/null
 fi
 
 echo "ci: OK"

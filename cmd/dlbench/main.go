@@ -22,11 +22,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"repro/internal/exp"
-	"repro/internal/fault"
+	"repro/internal/spec"
 )
 
 func main() {
@@ -34,13 +33,13 @@ func main() {
 		id    = flag.String("exp", "", "experiment id (fig01, fig10..fig17, table1..table5, abl-*) or 'all'")
 		list  = flag.Bool("list", false, "list available experiments")
 		full  = flag.Bool("full", false, "paper-scale inputs (slower); default is quick mode")
-		seed  = flag.Int64("seed", 42, "input generator seed")
+		seed  = flag.Int64("seed", spec.DefaultSeed, "input generator seed")
 		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs per experiment")
 		quiet = flag.Bool("q", false, "suppress per-job progress on stderr")
 		csv   = flag.String("csv", "", "directory to also write tables as CSV")
 
 		faultSpec = flag.String("fault", "", "link-fault plan applied to every DIMM-Link run, e.g. 'ber=1e-7,down=0-1@10us' (see dlsim -fault)")
-		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's error draws")
+		faultSeed = flag.Int64("faultseed", spec.DefaultFaultSeed, "seed for the fault plan's error draws")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -71,27 +70,27 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Quick: !*full, Seed: *seed, Jobs: *jobs}
-	if *faultSpec != "" {
-		plan, err := fault.ParsePlan(*faultSpec, *faultSeed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
-			os.Exit(1)
-		}
-		opts.Fault = plan
+	// The flag set maps 1:1 onto the canonical exp-kind job spec shared
+	// with dlserve; spec validation catches unknown experiments and
+	// malformed fault plans up front, with one set of defaults for every
+	// binary.
+	sp, err := spec.Spec{
+		Kind: spec.KindExp, Exp: *id, Full: *full,
+		Seed: *seed, Fault: *faultSpec, FaultSeed: *faultSeed,
+	}.Normalized()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlbench: %v (use -list)\n", err)
+		os.Exit(1)
 	}
-	var targets []exp.Experiment
-	if *id == "all" {
-		targets = exp.All()
-	} else {
-		for _, one := range strings.Split(*id, ",") {
-			e, ok := exp.ByID(strings.TrimSpace(one))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "dlbench: unknown experiment %q (use -list)\n", one)
-				os.Exit(1)
-			}
-			targets = append(targets, e)
-		}
+	opts, err := sp.ExpOptions(nil, *jobs, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
+		os.Exit(1)
+	}
+	targets, err := sp.Targets()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlbench: %v (use -list)\n", err)
+		os.Exit(1)
 	}
 
 	grandStart := time.Now()

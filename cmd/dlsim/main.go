@@ -7,6 +7,10 @@
 //	dlsim -mech dimm-link -dimms 8 -channels 4 -workload bfs -scale 15
 //	dlsim -mech mcn -workload pr -iters 5
 //	dlsim -mech dimm-link -topology torus -linkbw 50e9 -workload hotspot
+//
+// The flag set is a 1:1 surface over the canonical job spec in
+// internal/spec, which dlserve serves over HTTP: a dlserve job with the
+// same spec returns this binary's stdout byte-for-byte.
 package main
 
 import (
@@ -15,38 +19,32 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 
-	"repro/internal/core"
-	"repro/internal/dram"
-	"repro/internal/energy"
-	"repro/internal/fault"
-	"repro/internal/host"
 	"repro/internal/metrics"
 	"repro/internal/nmp"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/stats"
-	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		mech      = flag.String("mech", "dimm-link", "mechanism: dimm-link | mcn | aim | abc-dimm | host-cpu")
-		dimms     = flag.Int("dimms", 8, "number of DIMMs")
-		channels  = flag.Int("channels", 4, "number of memory channels")
-		workload  = flag.String("workload", "bfs", "workload: bfs | hotspot | kmeans | nw | pr | sssp | spmv | tspow | gemv | histo | p2p | sync")
-		scale     = flag.Int("scale", 14, "graph scale (2^scale vertices) / problem size class")
-		ef        = flag.Int("ef", 8, "graph edge factor")
-		iters     = flag.Int("iters", 4, "iterations (pr, kmeans, hotspot, spmv)")
-		seed      = flag.Int64("seed", 42, "input generator seed")
-		topology  = flag.String("topology", "chain", "DIMM-Link topology: chain | ring | mesh | torus")
-		linkbw    = flag.Float64("linkbw", 25e9, "DIMM-Link per-link bandwidth (bytes/s)")
+		mech      = flag.String("mech", spec.DefaultMech, "mechanism: dimm-link | mcn | aim | abc-dimm | host-cpu")
+		dimms     = flag.Int("dimms", spec.DefaultDIMMs, "number of DIMMs")
+		channels  = flag.Int("channels", spec.DefaultChannels, "number of memory channels")
+		workload  = flag.String("workload", spec.DefaultWorkload, "workload: bfs | hotspot | kmeans | nw | pr | sssp | spmv | tspow | gemv | histo | p2p | sync")
+		scale     = flag.Int("scale", spec.DefaultScale, "graph scale (2^scale vertices) / problem size class")
+		ef        = flag.Int("ef", spec.DefaultEdgeFactor, "graph edge factor")
+		iters     = flag.Int("iters", spec.DefaultIters, "iterations (pr, kmeans, hotspot, spmv)")
+		seed      = flag.Int64("seed", spec.DefaultSeed, "input generator seed")
+		topology  = flag.String("topology", spec.DefaultTopology, "DIMM-Link topology: chain | ring | mesh | torus")
+		linkbw    = flag.Float64("linkbw", spec.DefaultLinkBW, "DIMM-Link per-link bandwidth (bytes/s)")
 		polling   = flag.String("polling", "", "polling mode override: base | base+itrpt | proxy | proxy+itrpt")
 		cxl       = flag.Bool("cxl", false, "disaggregated mode: inter-group traffic over CXL instead of host forwarding")
 		bcast     = flag.Bool("broadcast", false, "use the broadcast formulation (pr, sssp, spmv)")
 		profile   = flag.Bool("profile", false, "record the per-thread traffic matrix")
 		faultSpec = flag.String("fault", "", "link-fault plan, e.g. 'ber=1e-7,down=0-1@10us,stall=2-3@5us+20us,degrade=1-2@0*0.5' (dimm-link only)")
-		faultSeed = flag.Int64("faultseed", 1, "seed for the fault plan's error draws")
+		faultSeed = flag.Int64("faultseed", spec.DefaultFaultSeed, "seed for the fault plan's error draws")
 
 		withMetrics = flag.Bool("metrics", false, "attach the observability layer and report latency percentiles and per-link utilization")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (implies -metrics; stdout is unchanged by tracing)")
@@ -67,25 +65,16 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := nmp.DefaultConfig(*dimms, *channels, nmp.Mechanism(*mech))
-	if *faultSpec != "" {
-		plan, err := fault.ParsePlan(*faultSpec, *faultSeed)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.DL.Fault = plan
-	}
-	cfg.DL.Topology = core.TopologyKind(*topology)
-	cfg.DL.Link.BytesPerSec = *linkbw
-	if *cxl {
-		cfg.DL.InterGroup = core.ViaCXL
-	}
-	if *polling != "" {
-		mode, err := parsePolling(*polling)
-		if err != nil {
-			fatal(err)
-		}
-		cfg.Host.Mode = mode
+	sp, err := spec.Spec{
+		Kind: spec.KindSim,
+		Mech: *mech, DIMMs: *dimms, Channels: *channels,
+		Workload: *workload, Scale: *scale, EdgeFactor: *ef, Iters: *iters,
+		Topology: *topology, LinkBW: *linkbw, Polling: *polling,
+		CXL: *cxl, Broadcast: *bcast,
+		Seed: *seed, Fault: *faultSpec, FaultSeed: *faultSeed,
+	}.Normalized()
+	if err != nil {
+		fatal(err)
 	}
 
 	// The observability layer is passive: an instrumented run is
@@ -93,92 +82,41 @@ func main() {
 	// -trace alone therefore leaves stdout byte-identical to a bare run;
 	// the printed report is opted into with -metrics or -sample and is
 	// itself byte-identical with and without -trace.
-	var coll *metrics.Collector
+	var hooks spec.SimHooks
+	hooks.Profile = *profile
 	var traceFile *os.File
 	report := *withMetrics || *samplePd > 0
 	if report || *tracePath != "" {
-		coll = metrics.NewCollector()
+		hooks.Metrics = metrics.NewCollector()
 		if *tracePath != "" {
 			f, err := os.Create(*tracePath)
 			if err != nil {
 				fatal(err)
 			}
 			traceFile = f
-			coll.Trace = metrics.NewTracer(f)
+			hooks.Metrics.Trace = metrics.NewTracer(f)
 		}
-		cfg.Metrics = coll
+		hooks.SamplePeriod = sim.Time(*samplePd) * sim.Nanosecond
 	}
 
-	sys, err := nmp.NewSystem(cfg)
+	run, err := sp.RunSim(hooks)
 	if err != nil {
 		fatal(err)
 	}
-	if coll != nil && *samplePd > 0 {
-		sys.StartSampler(sim.Time(*samplePd) * sim.Nanosecond)
-	}
-
-	w, err := buildWorkload(*workload, *scale, *ef, *iters, *seed, *bcast, sys)
-	if err != nil {
-		fatal(err)
-	}
-
-	res, checksum, err := w.Run(sys, sys.DefaultPlacement(), *profile)
-	if err != nil {
-		fatal(err)
-	}
-
-	fmt.Printf("workload   %s on %s (%dD-%dC)\n", w.Name(), *mech, *dimms, *channels)
-	if cfg.DL.Fault.Active() {
-		fmt.Printf("faults     %s (seed %d)\n", cfg.DL.Fault, cfg.DL.Fault.Seed)
-	}
-	fmt.Printf("makespan   %.3f ms\n", float64(res.Makespan)/1e9)
-	fmt.Printf("idc-stall  %.1f%% (non-overlapped IDC cycle ratio)\n", 100*res.IDCStallRatio())
-	fmt.Printf("checksum   %#x\n", checksum)
-
-	ds := make([]dram.Stats, len(sys.Modules))
-	var reads, writes, acts uint64
-	for i, m := range sys.Modules {
-		ds[i] = m.Stats
-		reads += m.Stats.Reads
-		writes += m.Stats.Writes
-		acts += m.Stats.Activations
-	}
-	fmt.Printf("dram       %d reads, %d writes, %d activations\n", reads, writes, acts)
-
-	in := energy.Inputs{
-		Makespan: res.Makespan, NumDIMMs: *dimms, DRAMStats: ds,
-		IsHostRun: nmp.Mechanism(*mech) == nmp.MechHostCPU,
-	}
-	if sys.IC != nil {
-		in.IC = sys.IC.Counters()
-		tb := stats.NewTable("interconnect counters", "counter", "value")
-		c := sys.IC.Counters()
-		for _, name := range c.Names() {
-			tb.Addf(name, c.Get(name))
-		}
-		fmt.Println()
-		tb.Render(os.Stdout)
-	}
-	if sys.Host() != nil {
-		in.Host = &sys.Host().Counters
-		fmt.Printf("\nhost bus occupation: %.2f%%\n", 100*sys.Host().BusOccupation(res.Makespan))
-	}
-	b := energy.Compute(energy.PaperParams(), in)
-	fmt.Printf("energy     %.4f J total (dram %.4f, idc %.4f, cores %.4f)\n",
-		b.Total, b.DRAM, b.IDC, b.Cores)
+	run.Report(os.Stdout)
 
 	if report {
-		reportMetrics(coll, sys, res.Makespan)
+		reportMetrics(hooks.Metrics, run.Sys, run.Res.Makespan)
 	}
 	if traceFile != nil {
-		if err := coll.Trace.Close(); err != nil {
+		if err := hooks.Metrics.Trace.Close(); err != nil {
 			fatal(err)
 		}
 		if err := traceFile.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dlsim: wrote %d trace events to %s\n",
-			coll.Trace.Events(), *tracePath)
+			hooks.Metrics.Trace.Events(), *tracePath)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -238,60 +176,6 @@ func reportMetrics(coll *metrics.Collector, sys *nmp.System, makespan sim.Time) 
 		fmt.Println()
 		st.Render(os.Stdout)
 	}
-}
-
-func parsePolling(s string) (host.PollingMode, error) {
-	switch s {
-	case "base":
-		return host.BasePolling, nil
-	case "base+itrpt":
-		return host.BaseInterrupt, nil
-	case "proxy":
-		return host.ProxyPolling, nil
-	case "proxy+itrpt":
-		return host.ProxyInterrupt, nil
-	}
-	return 0, fmt.Errorf("unknown polling mode %q", s)
-}
-
-func buildWorkload(name string, scale, ef, iters int, seed int64, bcast bool, sys *nmp.System) (workloads.Workload, error) {
-	switch strings.ToLower(name) {
-	case "bfs":
-		return workloads.NewBFSFromGraph(workloads.Community(scale, ef, seed)), nil
-	case "hotspot", "hs":
-		rows := 1 << uint(scale/2)
-		return workloads.NewHotspot(rows, rows, iters), nil
-	case "kmeans", "km":
-		return workloads.NewKMeans(1<<uint(scale), 16, 16, iters, seed), nil
-	case "nw":
-		return workloads.NewNW(1<<uint(scale/2+2), 64, seed), nil
-	case "pr", "pagerank":
-		w := workloads.NewPageRankFromGraph(workloads.Community(scale, ef, seed), iters)
-		w.Broadcast = bcast
-		return w, nil
-	case "sssp":
-		w := workloads.NewSSSPFromGraph(workloads.Community(scale, ef, seed))
-		w.Broadcast = bcast
-		return w, nil
-	case "spmv":
-		w := workloads.NewSpMVFromGraph(workloads.Community(scale, ef, seed), iters)
-		w.Broadcast = bcast
-		return w, nil
-	case "tspow", "ts":
-		return workloads.NewTSPow(1<<uint(scale+4), 64, 4096, seed), nil
-	case "p2p":
-		return &workloads.P2PBench{SrcDIMM: 0, DstDIMM: sys.Cfg.Geo.NumDIMMs - 1,
-			TransferBytes: 4096, TotalBytes: 1 << 22}, nil
-	case "sync":
-		return &workloads.SyncBench{Interval: 500, Rounds: 50}, nil
-	case "gemv":
-		w := workloads.NewGEMV(1<<uint(scale/2+2), 1<<uint(scale/2), iters, seed)
-		w.Broadcast = bcast
-		return w, nil
-	case "histo", "histogram":
-		return workloads.NewHistogram(1<<uint(scale+4), 256, seed), nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
 func fatal(err error) {

@@ -1,0 +1,191 @@
+// dlsmoke is the end-to-end smoke for dlserve, run by ci.sh. It spawns
+// a dlserve on an ephemeral port and proves the service contract with
+// real processes:
+//
+//  1. an HTTP job's result body is byte-identical to the dlsim CLI's
+//     stdout for the same spec;
+//  2. resubmitting the spec is a cache hit with an identical body;
+//  3. /healthz and /metrics respond;
+//  4. SIGTERM drains gracefully — a running job finishes and its result
+//     is retrievable through the drain window, new submissions are
+//     rejected with 503, and the server exits 0.
+//
+// Usage: dlsmoke -serve ./dlserve -sim ./dlsim
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/spec"
+)
+
+func main() {
+	var (
+		serveBin = flag.String("serve", "./dlserve", "path to the dlserve binary")
+		simBin   = flag.String("sim", "./dlsim", "path to the dlsim binary")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	cmd := exec.Command(*serveBin, "-addr", "127.0.0.1:0", "-workers", "1")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(fmt.Errorf("starting %s: %w", *serveBin, err))
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// The first stdout line announces the ephemeral address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		fatal(fmt.Errorf("no listening line from dlserve (err %v)", sc.Err()))
+	}
+	line := sc.Text()
+	const prefix = "dlserve: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		fatal(fmt.Errorf("unexpected first line %q", line))
+	}
+	base := strings.TrimPrefix(line, prefix)
+	go func() { // drain any further stdout
+		for sc.Scan() {
+		}
+	}()
+	c := client.New(base)
+
+	// --- 1. HTTP result vs CLI stdout, byte for byte. ---
+	sp := spec.Spec{Kind: spec.KindSim, Workload: "p2p", DIMMs: 4, Channels: 2}
+	cli, err := exec.Command(*simBin, "-workload", "p2p", "-dimms", "4", "-channels", "2").Output()
+	if err != nil {
+		fatal(fmt.Errorf("dlsim: %w", err))
+	}
+	st, err := c.Submit(ctx, sp)
+	if err != nil {
+		fatal(fmt.Errorf("submit: %w", err))
+	}
+	fin, err := c.Wait(ctx, st.ID, 0)
+	if err != nil {
+		fatal(fmt.Errorf("wait: %w", err))
+	}
+	if fin.State != serve.JobDone {
+		fatal(fmt.Errorf("job %s ended %s: %s", st.ID, fin.State, fin.Error))
+	}
+	body, err := c.Result(ctx, st.ID, false)
+	if err != nil {
+		fatal(fmt.Errorf("result: %w", err))
+	}
+	if !bytes.Equal(body, cli) {
+		fatal(fmt.Errorf("HTTP result differs from dlsim stdout:\n--- http\n%s--- cli\n%s", body, cli))
+	}
+	fmt.Println("dlsmoke: HTTP result byte-identical to dlsim stdout")
+
+	// --- 2. Cache hit: identical body, no recompute. ---
+	st2, err := c.Submit(ctx, sp)
+	if err != nil {
+		fatal(fmt.Errorf("resubmit: %w", err))
+	}
+	if !st2.Cached || st2.State != serve.JobDone {
+		fatal(fmt.Errorf("resubmit not served from cache: %+v", st2))
+	}
+	body2, err := c.Result(ctx, st2.ID, false)
+	if err != nil {
+		fatal(fmt.Errorf("cached result: %w", err))
+	}
+	if !bytes.Equal(body2, cli) {
+		fatal(fmt.Errorf("cached result body differs from fresh computation"))
+	}
+	fmt.Println("dlsmoke: cache hit returned identical bytes")
+
+	// --- 3. Operational endpoints. ---
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		fatal(fmt.Errorf("healthz: %+v, %v", h, err))
+	}
+	mb, err := c.Metrics(ctx)
+	if err != nil || !bytes.Contains(mb, []byte("dlserve_jobs_completed_total")) {
+		fatal(fmt.Errorf("metrics scrape missing job counters (err %v)", err))
+	}
+	fmt.Println("dlsmoke: /healthz and /metrics OK")
+
+	// --- 4. Graceful drain under SIGTERM. ---
+	// Submit a slower job (default bfs spec), let it start, then TERM
+	// the server while it runs.
+	slow := spec.Spec{Kind: spec.KindSim} // defaults: bfs scale 14
+	st3, err := c.Submit(ctx, slow)
+	if err != nil {
+		fatal(fmt.Errorf("slow submit: %w", err))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s, err := c.Status(ctx, st3.ID)
+		if err != nil {
+			fatal(fmt.Errorf("slow status: %w", err))
+		}
+		if s.State == serve.JobRunning || s.State == serve.JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("slow job never started: %s", s.State))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatal(fmt.Errorf("SIGTERM: %w", err))
+	}
+
+	// While draining, new submissions must be rejected (503). The drain
+	// flag flips asynchronously with the signal, so poll briefly.
+	rejected := false
+	for probe := time.Now(); time.Since(probe) < 5*time.Second; {
+		_, err := c.Submit(ctx, spec.Spec{Kind: spec.KindSim, Workload: "sync"})
+		if code := client.StatusCode(err); code == http.StatusServiceUnavailable {
+			rejected = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !rejected {
+		fatal(fmt.Errorf("submissions were not rejected with 503 during drain"))
+	}
+
+	// The in-flight job's result must come back intact through the drain
+	// window (?wait=1 blocks until it is terminal).
+	slowBody, err := c.Result(ctx, st3.ID, true)
+	if err != nil {
+		fatal(fmt.Errorf("result during drain: %w", err))
+	}
+	slowCLI, err := exec.Command(*simBin).Output()
+	if err != nil {
+		fatal(fmt.Errorf("dlsim (defaults): %w", err))
+	}
+	if !bytes.Equal(slowBody, slowCLI) {
+		fatal(fmt.Errorf("drained job's result differs from dlsim stdout"))
+	}
+
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("dlserve exited non-zero after drain: %w", err))
+	}
+	fmt.Println("dlsmoke: SIGTERM drained gracefully (503 intake, result intact, exit 0)")
+	fmt.Println("dlsmoke: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlsmoke:", err)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,24 @@ func (o Options) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// ctx resolves the cancellation context: Options.Ctx when set, else a
+// background context (never canceled — the pre-context behavior).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// canceled is the panic payload runJobs uses to unwind an experiment's
+// Run function when its context is canceled mid-grid. Experiments
+// post-process complete result slices, so a partial grid cannot be
+// allowed to reach their aggregation code; unwinding through Run and
+// recovering in RunContext keeps every per-experiment Run untouched.
+// The panic is raised only on the goroutine that called runJobs, never
+// on a pool worker.
+type canceled struct{ err error }
 
 // jobSeed derives the RNG seed for job idx from a base seed using a
 // splitmix64 round: deterministic in (base, idx), decorrelated across
@@ -49,7 +68,16 @@ func jobSeed(base int64, idx int) int64 {
 // job constructs everything it touches. Progress (when set) observes
 // completions serialized under a lock, so callbacks never race even
 // though jobs finish on different goroutines.
+//
+// Cancellation: when Options.Ctx is canceled, no further jobs are
+// dispatched (in-flight jobs run to completion — one simulation is not
+// interruptible) and runJobs unwinds the calling goroutine with a
+// canceled panic that RunContext converts to the context's error. A
+// context that is never canceled leaves the dispatch order, the job
+// seeds and therefore the results exactly as before: determinism across
+// -jobs settings is untouched.
 func runJobs[T any](o Options, n int, fn func(idx int) T) []T {
+	ctx := o.ctx()
 	out := make([]T, n)
 	w := o.workers()
 	if w > n {
@@ -68,6 +96,9 @@ func runJobs[T any](o Options, n int, fn func(idx int) T) []T {
 	}
 	if w <= 1 {
 		for i := range out {
+			if err := ctx.Err(); err != nil {
+				panic(canceled{err})
+			}
 			out[i] = fn(i)
 			report()
 		}
@@ -80,6 +111,9 @@ func runJobs[T any](o Options, n int, fn func(idx int) T) []T {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -90,5 +124,8 @@ func runJobs[T any](o Options, n int, fn func(idx int) T) []T {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		panic(canceled{err})
+	}
 	return out
 }

@@ -1,8 +1,11 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -61,6 +64,92 @@ func TestRunJobsZero(t *testing.T) {
 	})
 	if len(out) != 0 {
 		t.Fatalf("got %d results for an empty grid", len(out))
+	}
+}
+
+// TestRunJobsCanceled checks that a canceled context stops dispatch on
+// both the serial and the pooled path, unwinding with the canceled
+// sentinel, and that jobs already dispatched run to completion.
+func TestRunJobsCanceled(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		got := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					c, ok := r.(canceled)
+					if !ok {
+						panic(r)
+					}
+					err = c.err
+				}
+			}()
+			runJobs(Options{Jobs: jobs, Ctx: ctx}, 100, func(i int) int {
+				ran.Add(1)
+				cancel() // cancel as soon as any job runs
+				return i
+			})
+			return nil
+		}()
+		cancel()
+		if !errors.Is(got, context.Canceled) {
+			t.Fatalf("jobs=%d: unwound with %v, want context.Canceled", jobs, got)
+		}
+		if n := ran.Load(); n == 0 || n >= 100 {
+			t.Fatalf("jobs=%d: %d jobs ran after cancellation, want partial grid", jobs, n)
+		}
+	}
+}
+
+// TestRunJobsPreCanceled checks that an already-canceled context runs no
+// jobs at all.
+func TestRunJobsPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("runJobs with a pre-canceled context did not unwind")
+		} else if _, ok := r.(canceled); !ok {
+			panic(r)
+		}
+	}()
+	runJobs(Options{Jobs: 1, Ctx: ctx}, 5, func(i int) int {
+		t.Error("job ran under a pre-canceled context")
+		return 0
+	})
+}
+
+// TestRunContext checks the public wrapper: a background context yields
+// the same tables as a direct Run, and a canceled context yields the
+// context's error with no tables.
+func TestRunContext(t *testing.T) {
+	e, ok := ByID("table1")
+	if !ok {
+		t.Fatal("table1 not registered")
+	}
+	o := Options{Quick: true, Seed: 42, Jobs: 2, Ctx: context.Background()}
+	got, err := RunContext(e, o)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	want := e.Run(Options{Quick: true, Seed: 42, Jobs: 2})
+	if len(got) != len(want) {
+		t.Fatalf("RunContext returned %d tables, direct Run %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Errorf("table %d differs between RunContext and direct Run", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tables, err := RunContext(e, Options{Quick: true, Seed: 42, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled RunContext: err = %v, want context.Canceled", err)
+	}
+	if tables != nil {
+		t.Fatal("canceled RunContext returned tables")
 	}
 }
 

@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,14 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), 1 forces serial execution. Rendered tables
 	// are bit-identical for every value (see engine.go).
 	Jobs int
+
+	// Ctx, when non-nil, makes the experiment grid cancellable: once the
+	// context is canceled no further simulation jobs are dispatched and
+	// the run aborts. Cancellable runs must go through RunContext, which
+	// converts the abort into the context's error; Experiment.Run panics
+	// on cancellation when called directly. A nil (or never-canceled)
+	// Ctx leaves execution and output exactly as before.
+	Ctx context.Context
 
 	// Progress, when non-nil, is invoked after each simulation job
 	// completes with the number of finished jobs and the batch total.
@@ -121,6 +130,24 @@ func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// RunContext executes e.Run under o's context and returns the rendered
+// tables, or the context's error if the grid was canceled mid-run. It is
+// the cancellable entry point used by long-running callers (dlserve);
+// with a nil or never-canceled Options.Ctx it behaves exactly like
+// e.Run(o) and the returned tables are byte-identical to a direct call.
+func RunContext(e Experiment, o Options) (tables []*stats.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(canceled)
+			if !ok {
+				panic(r)
+			}
+			tables, err = nil, c.err
+		}
+	}()
+	return e.Run(o), nil
 }
 
 // ByID finds an experiment.

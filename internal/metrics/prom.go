@@ -1,0 +1,86 @@
+// prom.go renders a Registry (plus an optional counter set) in the
+// Prometheus text exposition format (version 0.0.4), the format every
+// Prometheus-compatible scraper accepts. Histograms are exported as
+// summaries — quantile-labelled gauges plus _sum and _count — because
+// the simulator's log-linear histograms already answer quantile queries
+// exactly once merged, whereas re-bucketing them into Prometheus's
+// cumulative le-buckets would lose resolution.
+//
+// Output order is deterministic (sorted names, fixed quantile order), so
+// two scrapes of identical state produce identical bytes — the same
+// discipline as every other renderer in this repository.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// promQuantiles is the fixed quantile set exported per histogram.
+var promQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// PromName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z0-9_:]: every other rune (the registry uses dots, dashes,
+// angle brackets in link keys) becomes '_', and a leading digit gains a
+// '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm writes the registry's histograms and gauges, and the counter
+// set when non-nil, under the given namespace prefix ("" for none).
+// Counters gain the conventional _total suffix.
+func WriteProm(w io.Writer, namespace string, reg *Registry, ctrs *stats.Counters) error {
+	prefix := ""
+	if namespace != "" {
+		prefix = PromName(namespace) + "_"
+	}
+	var err error
+	pf := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	if ctrs != nil {
+		for _, name := range ctrs.Names() {
+			n := prefix + PromName(name) + "_total"
+			pf("# TYPE %s counter\n%s %d\n", n, n, ctrs.Get(name))
+		}
+	}
+	if reg != nil {
+		for _, name := range reg.HistNames() {
+			h := reg.Hist(name)
+			n := prefix + PromName(name)
+			pf("# TYPE %s summary\n", n)
+			for _, q := range promQuantiles {
+				pf("%s{quantile=\"%g\"} %d\n", n, q, h.Quantile(q))
+			}
+			pf("%s_sum %d\n%s_count %d\n", n, h.Sum(), n, h.Count())
+		}
+		for _, name := range reg.GaugeNames() {
+			n := prefix + PromName(name)
+			pf("# TYPE %s gauge\n%s %g\n", n, n, reg.Gauge(name))
+		}
+	}
+	return err
+}

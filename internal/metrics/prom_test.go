@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestPromName pins the name sanitization: dots and link-key runes map
+// to underscores, leading digits are prefixed.
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"pkt.lat":            "pkt_lat",
+		"linkutil.g0.0->1":   "linkutil_g0_0__1",
+		"jobs.submitted":     "jobs_submitted",
+		"0weird":             "_0weird",
+		"already_fine_name1": "already_fine_name1",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWriteProm pins the exposition format: counters as _total, each
+// histogram as a summary with the fixed quantile set plus _sum/_count,
+// gauges as gauges, all under the namespace prefix and in sorted order.
+func TestWriteProm(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Hist("job.wait")
+	for v := uint64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	reg.SetGauge("queue.depth", 3)
+
+	var ctrs stats.Counters
+	ctrs.Add("jobs.submitted", 7)
+	ctrs.Add("cache.hits", 2)
+
+	var sb strings.Builder
+	if err := WriteProm(&sb, "dlserve", reg, &ctrs); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	got := sb.String()
+
+	want := `# TYPE dlserve_cache_hits_total counter
+dlserve_cache_hits_total 2
+# TYPE dlserve_jobs_submitted_total counter
+dlserve_jobs_submitted_total 7
+# TYPE dlserve_job_wait summary
+dlserve_job_wait{quantile="0.5"} 50
+dlserve_job_wait{quantile="0.9"} 89
+dlserve_job_wait{quantile="0.95"} 94
+dlserve_job_wait{quantile="0.99"} 98
+dlserve_job_wait_sum 5050
+dlserve_job_wait_count 100
+# TYPE dlserve_queue_depth gauge
+dlserve_queue_depth 3
+`
+	if got != want {
+		t.Errorf("WriteProm output:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Two scrapes of identical state must be byte-identical.
+	var sb2 strings.Builder
+	if err := WriteProm(&sb2, "dlserve", reg, &ctrs); err != nil {
+		t.Fatalf("WriteProm (second): %v", err)
+	}
+	if sb2.String() != got {
+		t.Error("WriteProm is not deterministic across scrapes")
+	}
+}
+
+// TestWritePromEmpty checks nil inputs produce no output and no error.
+func TestWritePromEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteProm(&sb, "", nil, nil); err != nil {
+		t.Fatalf("WriteProm(nil, nil): %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty WriteProm produced %q", sb.String())
+	}
+}

@@ -1,0 +1,63 @@
+package serve
+
+import "container/list"
+
+// resultCache is the content-addressed result store: spec hash -> the
+// rendered result bodies. Both bodies are immutable once inserted, so a
+// cache hit can serve the stored bytes directly — that, plus the
+// simulator's byte-determinism in the spec, is what makes cached and
+// freshly-computed responses identical.
+//
+// The cache is a plain LRU bounded by entry count (results are a few KB
+// of rendered tables; an entry bound is an adequate memory bound). It is
+// NOT internally synchronized: every access happens under Server.mu,
+// which already serializes the submit and completion paths that touch
+// it.
+type resultCache struct {
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	hash string
+	res  *Result
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for hash and marks it most recently
+// used.
+func (c *resultCache) get(hash string) (*Result, bool) {
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) a result, evicting the least recently used
+// entries beyond the bound. Returns how many entries were evicted.
+func (c *resultCache) put(hash string, res *Result) (evicted int) {
+	if c.max <= 0 {
+		return 0
+	}
+	if el, ok := c.entries[hash]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.entries[hash] = c.ll.PushFront(&cacheEntry{hash: hash, res: res})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *resultCache) len() int { return c.ll.Len() }

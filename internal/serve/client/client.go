@@ -1,0 +1,197 @@
+// Package client is a small Go client for the dlserve HTTP API, used by
+// the ci.sh end-to-end smoke (cmd/dlsmoke) and by any Go program that
+// wants to submit simulation jobs to a running dlserve.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/spec"
+)
+
+// Client talks to one dlserve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the given base URL (e.g.
+// "http://127.0.0.1:8077"). A trailing slash is tolerated.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError is a non-2xx response, carrying the status code for callers
+// that branch on backpressure (429) or drain (503).
+type apiError struct {
+	Code int
+	Body string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("dlserve: HTTP %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// StatusCode returns the HTTP status of an error returned by this
+// package, or 0 if err did not come from a dlserve response.
+func StatusCode(err error) int {
+	if ae, ok := err.(*apiError); ok {
+		return ae.Code
+	}
+	return 0
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return &apiError{Code: resp.StatusCode, Body: string(b)}
+	}
+	if out != nil {
+		return json.Unmarshal(b, out)
+	}
+	return nil
+}
+
+// Submit posts a job spec. The returned status may already be terminal
+// (cache hit) or belong to an identical in-flight job (deduplicated).
+func (c *Client) Submit(ctx context.Context, sp spec.Spec) (serve.JobStatus, error) {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	var st serve.JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(b), &st)
+	return st, err
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (serve.JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// terminal mirrors serve's JobState lifecycle for the wire type.
+func terminal(s serve.JobState) bool {
+	return s == serve.JobDone || s == serve.JobFailed || s == serve.JobCanceled
+}
+
+// Result fetches a finished job's rendered text body. With wait set, the
+// server blocks the request until the job is terminal — robust against
+// the server draining right after the job finishes.
+func (c *Client) Result(ctx context.Context, id string, wait bool) ([]byte, error) {
+	return c.resultBody(ctx, id, "", wait)
+}
+
+// ResultJSON fetches the structured result body.
+func (c *Client) ResultJSON(ctx context.Context, id string, wait bool) ([]byte, error) {
+	return c.resultBody(ctx, id, "json", wait)
+}
+
+func (c *Client) resultBody(ctx context.Context, id, format string, wait bool) ([]byte, error) {
+	path := "/v1/jobs/" + id + "/result"
+	sep := "?"
+	if format != "" {
+		path += sep + "format=" + format
+		sep = "&"
+	}
+	if wait {
+		path += sep + "wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{Code: resp.StatusCode, Body: string(b)}
+	}
+	return b, nil
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (serve.Health, error) {
+	var h serve.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches the raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &apiError{Code: resp.StatusCode, Body: string(b)}
+	}
+	return b, nil
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// JobState is a job's lifecycle position. Transitions:
+// queued -> running -> {done, failed, canceled}; queued -> canceled.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// Result is one job's rendered output: the text body (byte-identical to
+// the equivalent dlsim/dlbench stdout) and the structured JSON body.
+// Both are immutable after construction.
+type Result struct {
+	Text []byte
+	JSON []byte
+}
+
+// Job is one managed run. All mutable fields are guarded by Server.mu;
+// done is closed exactly once, on entry to a terminal state, and is the
+// only field waiters may touch without the lock.
+type Job struct {
+	ID   string
+	Hash string
+	Spec spec.Spec // normalized
+
+	State  JobState
+	Done   int // completed grid jobs (exp kind; sim kind reports 0/1 -> 1/1)
+	Total  int
+	Cached bool
+	Err    string
+	res    *Result
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// JobStatus is the wire form of a job's state, shared with the client
+// package.
+type JobStatus struct {
+	ID      string   `json:"id"`
+	Hash    string   `json:"hash"`
+	State   JobState `json:"state"`
+	Done    int      `json:"done"`
+	Total   int      `json:"total"`
+	Cached  bool     `json:"cached,omitempty"`
+	Deduped bool     `json:"deduped,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	WaitMS  float64  `json:"wait_ms,omitempty"`
+	RunMS   float64  `json:"run_ms,omitempty"`
+}
+
+// statusLocked snapshots the job's status. Callers hold Server.mu.
+func (j *Job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID: j.ID, Hash: j.Hash, State: j.State,
+		Done: j.Done, Total: j.Total,
+		Cached: j.Cached, Error: j.Err,
+	}
+	if !j.started.IsZero() {
+		st.WaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	return st
+}

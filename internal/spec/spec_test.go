@@ -1,0 +1,258 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestNormalizeDefaults checks the zero-value sim spec resolves to the
+// documented defaults.
+func TestNormalizeDefaults(t *testing.T) {
+	n, err := Spec{Kind: KindSim}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Kind: KindSim, Mech: DefaultMech, DIMMs: DefaultDIMMs,
+		Channels: DefaultChannels, Workload: DefaultWorkload,
+		Scale: DefaultScale, EdgeFactor: DefaultEdgeFactor,
+		Iters: DefaultIters, Topology: DefaultTopology,
+		LinkBW: DefaultLinkBW, Seed: DefaultSeed, FaultSeed: DefaultFaultSeed,
+	}
+	if n != want {
+		t.Errorf("normalized zero sim spec:\n got %+v\nwant %+v", n, want)
+	}
+	// Empty kind defaults to sim.
+	n2, err := Spec{}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Errorf("empty kind normalized differently: %+v", n2)
+	}
+}
+
+// TestHashEquivalence pins the content-address soundness properties:
+// specs that denote the same run hash identically, regardless of which
+// alias or default spelling the caller used.
+func TestHashEquivalence(t *testing.T) {
+	hash := func(s Spec) string {
+		t.Helper()
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	cases := []struct {
+		name string
+		a, b Spec
+	}{
+		{"zero vs explicit defaults",
+			Spec{Kind: KindSim},
+			Spec{Kind: KindSim, Mech: DefaultMech, DIMMs: 8, Channels: 4,
+				Workload: "bfs", Scale: 14, EdgeFactor: 8, Iters: 4,
+				Topology: "chain", LinkBW: 25e9, Seed: 42, FaultSeed: 1}},
+		{"workload alias hs",
+			Spec{Kind: KindSim, Workload: "hotspot"},
+			Spec{Kind: KindSim, Workload: "hs"}},
+		{"workload alias pagerank",
+			Spec{Kind: KindSim, Workload: "pr"},
+			Spec{Kind: KindSim, Workload: "PageRank"}},
+		{"seed zero is default seed",
+			Spec{Kind: KindSim, Seed: 0},
+			Spec{Kind: KindSim, Seed: 42}},
+		{"faultseed inert without a plan",
+			Spec{Kind: KindSim, FaultSeed: 99},
+			Spec{Kind: KindSim}},
+		{"exp ignores sim-only fields",
+			Spec{Kind: KindExp, Exp: "table1", DIMMs: 16, Workload: "pr", LinkBW: 1e9},
+			Spec{Kind: KindExp, Exp: "table1"}},
+		{"sim ignores exp-only fields",
+			Spec{Kind: KindSim, Exp: "table1", Full: true},
+			Spec{Kind: KindSim}},
+	}
+	for _, c := range cases {
+		if ha, hb := hash(c.a), hash(c.b); ha != hb {
+			t.Errorf("%s: hashes differ\n a=%s\n b=%s", c.name, ha, hb)
+		}
+	}
+}
+
+// TestHashSensitivity checks every output-affecting field perturbs the
+// hash.
+func TestHashSensitivity(t *testing.T) {
+	base, err := Spec{Kind: KindSim}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseHash, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]Spec{
+		"mech":      {Kind: KindSim, Mech: "mcn"},
+		"dimms":     {Kind: KindSim, DIMMs: 16},
+		"channels":  {Kind: KindSim, Channels: 8},
+		"workload":  {Kind: KindSim, Workload: "pr"},
+		"scale":     {Kind: KindSim, Scale: 12},
+		"ef":        {Kind: KindSim, EdgeFactor: 4},
+		"iters":     {Kind: KindSim, Iters: 2},
+		"topology":  {Kind: KindSim, Topology: "ring"},
+		"linkbw":    {Kind: KindSim, LinkBW: 50e9},
+		"polling":   {Kind: KindSim, Polling: "proxy"},
+		"cxl":       {Kind: KindSim, CXL: true},
+		"broadcast": {Kind: KindSim, Broadcast: true},
+		"seed":      {Kind: KindSim, Seed: 7},
+		"fault":     {Kind: KindSim, Fault: "ber=1e-6"},
+		"kind":      {Kind: KindExp, Exp: "table1"},
+	}
+	seen := map[string]string{baseHash: "base"}
+	for name, m := range mutations {
+		h, err := m.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("mutation %q hash collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+	// FaultSeed matters once a plan is present.
+	fa, _ := Spec{Kind: KindSim, Fault: "ber=1e-6", FaultSeed: 1}.Hash()
+	fb, _ := Spec{Kind: KindSim, Fault: "ber=1e-6", FaultSeed: 2}.Hash()
+	if fa == fb {
+		t.Error("faultseed did not perturb the hash of a faulted spec")
+	}
+}
+
+// TestCanonicalDeterministic pins the encoding: stable across calls and
+// shaped as key=value lines in fixed order.
+func TestCanonicalDeterministic(t *testing.T) {
+	s := Spec{Kind: KindSim, Workload: "hs", LinkBW: 12.5e9, Seed: 3}
+	a, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("Canonical is not deterministic")
+	}
+	want := "kind=sim\nmech=dimm-link\ndimms=8\nchannels=4\nworkload=hotspot\n" +
+		"scale=14\nef=8\niters=4\ntopology=chain\nlinkbw=1.25e+10\npolling=\n" +
+		"cxl=false\nbroadcast=false\nseed=3\nfault=\nfaultseed=1\n"
+	if string(a) != want {
+		t.Errorf("canonical encoding:\n got %q\nwant %q", a, want)
+	}
+}
+
+// TestNormalizeErrors checks validation rejects bad specs.
+func TestNormalizeErrors(t *testing.T) {
+	bad := map[string]Spec{
+		"unknown kind":       {Kind: "weird"},
+		"unknown mech":       {Kind: KindSim, Mech: "quantum"},
+		"unknown workload":   {Kind: KindSim, Workload: "mandelbrot"},
+		"unknown topology":   {Kind: KindSim, Topology: "hypercube"},
+		"unknown polling":    {Kind: KindSim, Polling: "busy"},
+		"negative dimms":     {Kind: KindSim, DIMMs: -1},
+		"negative linkbw":    {Kind: KindSim, LinkBW: -5},
+		"bad fault plan":     {Kind: KindSim, Fault: "gibberish"},
+		"exp without id":     {Kind: KindExp},
+		"unknown experiment": {Kind: KindExp, Exp: "fig99"},
+	}
+	for name, s := range bad {
+		if _, err := s.Normalized(); err == nil {
+			t.Errorf("%s: Normalized accepted %+v", name, s)
+		}
+	}
+}
+
+// TestTargets checks experiment selection resolution.
+func TestTargets(t *testing.T) {
+	all, err := Spec{Kind: KindExp, Exp: "all"}.Targets()
+	if err != nil || len(all) == 0 {
+		t.Fatalf("all: %d targets, err %v", len(all), err)
+	}
+	list, err := Spec{Kind: KindExp, Exp: "table1, fig01"}.Targets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 || list[0].ID != "table1" || list[1].ID != "fig01" {
+		ids := make([]string, len(list))
+		for i, e := range list {
+			ids[i] = e.ID
+		}
+		t.Errorf("list targets: %v", ids)
+	}
+	if _, err := (Spec{Kind: KindExp, Exp: "table1,nope"}).Targets(); err == nil {
+		t.Error("unknown id in list accepted")
+	}
+}
+
+// TestExpOptions checks the options wiring, including that exp options
+// reject sim-kind specs.
+func TestExpOptions(t *testing.T) {
+	sp := Spec{Kind: KindExp, Exp: "table1", Seed: 7, Full: true,
+		Fault: "ber=1e-6", FaultSeed: 5}
+	opts, err := sp.ExpOptions(nil, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Quick || opts.Seed != 7 || opts.Jobs != 3 || opts.Fault == nil {
+		t.Errorf("options: %+v", opts)
+	}
+	if _, err := (Spec{Kind: KindSim}).ExpOptions(nil, 1, nil); err == nil {
+		t.Error("ExpOptions accepted a sim-kind spec")
+	}
+}
+
+// TestConfig spot-checks the sim config assembly formerly inlined in
+// cmd/dlsim.
+func TestConfig(t *testing.T) {
+	sp := Spec{Kind: KindSim, DIMMs: 4, Channels: 2, Topology: "ring",
+		LinkBW: 50e9, CXL: true, Polling: "proxy+itrpt",
+		Fault: "ber=1e-6"}
+	cfg, err := sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Geo.NumDIMMs != 4 || cfg.Geo.NumChannels != 2 {
+		t.Errorf("geometry: %dD-%dC", cfg.Geo.NumDIMMs, cfg.Geo.NumChannels)
+	}
+	if string(cfg.DL.Topology) != "ring" || cfg.DL.Link.BytesPerSec != 50e9 {
+		t.Errorf("link config: topo=%s bw=%g", cfg.DL.Topology, cfg.DL.Link.BytesPerSec)
+	}
+	if cfg.DL.Fault == nil {
+		t.Error("fault plan not wired into config")
+	}
+	if _, err := (Spec{Kind: KindExp, Exp: "table1"}).Config(); err == nil {
+		t.Error("Config accepted an exp-kind spec")
+	}
+}
+
+// TestCanonicalWorkloadCaseInsensitive checks alias lookup is
+// case-insensitive (flag values arrive in user spelling).
+func TestCanonicalWorkloadCaseInsensitive(t *testing.T) {
+	cases := map[string]string{
+		"BFS": "bfs", "HotSpot": "hotspot", "Histogram": "histo",
+	}
+	for in, want := range cases {
+		got, err := CanonicalWorkload(in)
+		if err != nil || got != want {
+			t.Errorf("CanonicalWorkload(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := CanonicalWorkload(""); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if !strings.Contains(func() string {
+		_, err := CanonicalWorkload("warp")
+		return err.Error()
+	}(), "warp") {
+		t.Error("error does not name the offending workload")
+	}
+}
