@@ -43,6 +43,14 @@ if [ "${1:-}" != "quick" ]; then
 	cmp "$tmp/plain.txt" "$tmp/traced.txt"
 	test -s "$tmp/trace.jsonl"
 
+	echo "== dlsim golden output (perf work must keep stdout byte-identical)"
+	"$tmp/dlsim" -workload p2p >"$tmp/golden_check.txt"
+	cmp testdata/golden_dlsim_p2p.txt "$tmp/golden_check.txt"
+
+	echo "== dlperf quick smoke (writes BENCH_ci.json, exits non-zero on a dead suite)"
+	go run ./cmd/dlperf -label ci -quick -o "$tmp" >/dev/null
+	test -s "$tmp/BENCH_ci.json"
+
 	echo "== histogram benchmark smoke"
 	go test -bench BenchmarkHistogram -benchtime 100x -run '^$' ./internal/metrics/ >/dev/null
 

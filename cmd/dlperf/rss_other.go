@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// peakRSS is unavailable off unix; the trajectory column records 0.
+func peakRSS() int64 { return 0 }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// peakRSS returns the process's peak resident set size in bytes, or 0 if
+// it cannot be read. Linux reports ru_maxrss in KiB.
+func peakRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

@@ -124,9 +124,12 @@ func main() {
 	fmt.Println("dlsmoke: /healthz and /metrics OK")
 
 	// --- 4. Graceful drain under SIGTERM. ---
-	// Submit a slower job (default bfs spec), let it start, then TERM
-	// the server while it runs.
-	slow := spec.Spec{Kind: spec.KindSim} // defaults: bfs scale 14
+	// Submit a slower job, let it start, then TERM the server while it
+	// runs. The scale is chosen to keep the job in flight for most of a
+	// second so the drain window stays observable — the probe loop below
+	// needs the server alive-and-draining long enough to see a 503 (a
+	// faster simulator shrinks this window; don't lower the scale).
+	slow := spec.Spec{Kind: spec.KindSim, Workload: "bfs", Scale: 17}
 	st3, err := c.Submit(ctx, slow)
 	if err != nil {
 		fatal(fmt.Errorf("slow submit: %w", err))
@@ -150,10 +153,14 @@ func main() {
 	}
 
 	// While draining, new submissions must be rejected (503). The drain
-	// flag flips asynchronously with the signal, so poll briefly.
+	// flag flips asynchronously with the signal, so poll briefly — and
+	// each probe uses a distinct seed: a probe that sneaks in before the
+	// flag flips would otherwise turn every later identical probe into a
+	// cache/dedup hit, which the server intentionally keeps serving
+	// during drain (reads keep working).
 	rejected := false
-	for probe := time.Now(); time.Since(probe) < 5*time.Second; {
-		_, err := c.Submit(ctx, spec.Spec{Kind: spec.KindSim, Workload: "sync"})
+	for probe, n := time.Now(), 0; time.Since(probe) < 5*time.Second; n++ {
+		_, err := c.Submit(ctx, spec.Spec{Kind: spec.KindSim, Workload: "sync", Seed: int64(1000 + n)})
 		if code := client.StatusCode(err); code == http.StatusServiceUnavailable {
 			rejected = true
 			break
@@ -170,9 +177,9 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("result during drain: %w", err))
 	}
-	slowCLI, err := exec.Command(*simBin).Output()
+	slowCLI, err := exec.Command(*simBin, "-workload", "bfs", "-scale", "17").Output()
 	if err != nil {
-		fatal(fmt.Errorf("dlsim (defaults): %w", err))
+		fatal(fmt.Errorf("dlsim (bfs scale 17): %w", err))
 	}
 	if !bytes.Equal(slowBody, slowCLI) {
 		fatal(fmt.Errorf("drained job's result differs from dlsim stdout"))

@@ -191,6 +191,11 @@ type group struct {
 	// dllCh holds per-directed-link DLL channel state (fault mode only),
 	// keyed by local node pair.
 	dllCh map[[2]int]*dllChan
+
+	// bcArr is the broadcast arrival scratch buffer (fault mode only),
+	// reused across chunks — safe because the engine is single-threaded
+	// and the slice never escapes broadcastWithinFI.
+	bcArr []sim.Time
 }
 
 // NewLink builds a DIMM-Link interconnect over the system's DIMMs and
@@ -383,10 +388,11 @@ func (l *Link) sendPacket(at sim.Time, src, dst int, wireBytes int) sim.Time {
 	}
 }
 
-// wireBytesFor returns the on-wire size of a packet carrying payload bytes.
+// wireBytesFor returns the on-wire size of a packet carrying payload
+// bytes: one header/tail flit plus the payload rounded up to whole flits
+// (Packet.WireBytes without materializing a packet).
 func wireBytesFor(payload uint32) int {
-	p := Packet{Data: make([]byte, payload)}
-	return p.WireBytes()
+	return (1 + (int(payload)+FlitBytes-1)/FlitBytes) * FlitBytes
 }
 
 // Access implements the hybrid routing mechanism for remote memory access.
@@ -423,8 +429,8 @@ func (l *Link) intraGroupAccess(at sim.Time, src, dst int, addr uint64, size uin
 		// Buffer space at the destination before the local MC drains it.
 		t := start
 		off := uint64(0)
-		for _, chunk := range SplitPayload(size) {
-			chunk, chunkOff := chunk, off
+		for i, nc := 0, NumChunks(size); i < nc; i++ {
+			chunk, chunkOff := ChunkAt(size, i), off
 			sendAt := l.packetize(t)
 			arrive := l.sendPacket(sendAt, src, dst, wireBytesFor(chunk))
 			fin := l.ctrl[dst].HoldData(arrive, wireBytesFor(chunk), func(admit sim.Time) sim.Time {
@@ -446,8 +452,8 @@ func (l *Link) intraGroupAccess(at sim.Time, src, dst int, addr uint64, size uin
 			return l.decode(admit)
 		})
 		off := uint64(0)
-		for _, chunk := range SplitPayload(size) {
-			chunk := chunk
+		for i, nc := 0, NumChunks(size); i < nc; i++ {
+			chunk := ChunkAt(size, i)
 			dataAt := l.dram[dst].Access(ready, addr+off, chunk, false)
 			respAt := l.packetize(dataAt)
 			arrive := l.sendPacket(respAt, dst, src, wireBytesFor(chunk))
@@ -482,8 +488,8 @@ func (l *Link) registerAtProxy(at sim.Time, dimm int) sim.Time {
 // split into maximal DL packets, each with its header/tail flit.
 func wireBytesTotal(size uint32) uint32 {
 	var total int
-	for _, chunk := range SplitPayload(size) {
-		total += wireBytesFor(chunk)
+	for i, nc := 0, NumChunks(size); i < nc; i++ {
+		total += wireBytesFor(ChunkAt(size, i))
 	}
 	return uint32(total)
 }
@@ -495,7 +501,7 @@ func wireBytesTotal(size uint32) uint32 {
 // pays the notice and forwarding latency once, plus bus time for all
 // packets.
 func (l *Link) interGroupAccess(at sim.Time, src, dst int, addr uint64, size uint32, write bool) sim.Time {
-	pkts := uint64(len(SplitPayload(size)))
+	pkts := uint64(NumChunks(size))
 	l.ctrs.Add("packets", pkts)
 	l.ctrs.Inc("intergroup.accesses")
 	if l.cfg.InterGroup == ViaCXL {
@@ -598,9 +604,9 @@ func (l *Link) broadcastWithin(at sim.Time, src int, size uint32) sim.Time {
 	}
 	t := at
 	var last sim.Time
-	for _, chunk := range SplitPayload(size) {
+	for i, nc := 0, NumChunks(size); i < nc; i++ {
 		sendAt := l.packetize(t)
-		wire := wireBytesFor(chunk)
+		wire := wireBytesFor(ChunkAt(size, i))
 		_, fin, err := g.net.Broadcast(sendAt, l.nodeOf[src], wire)
 		if err != nil {
 			// Unreachable without fault injection (connected topology).

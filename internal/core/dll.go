@@ -16,7 +16,6 @@ package core
 import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
-	"repro/internal/noc"
 	"repro/internal/sim"
 )
 
@@ -235,14 +234,22 @@ func (l *Link) broadcastWithinFI(at sim.Time, src int, size uint32) sim.Time {
 	srcNode := l.nodeOf[src]
 	t := at
 	var last sim.Time
-	for _, chunk := range SplitPayload(size) {
+	for ci, nc := 0, NumChunks(size); ci < nc; ci++ {
 		sendAt := l.packetize(t)
-		wire := wireBytesFor(chunk)
-		parent, unreachable := g.net.SpanningTreeAt(sendAt, srcNode)
-		arrivals := make([]sim.Time, g.size)
+		wire := wireBytesFor(ChunkAt(size, ci))
+		parent, order, unreachable := g.net.BroadcastPlanAt(sendAt, srcNode)
+		// The arrivals scratch lives on the group: the engine is
+		// single-threaded and the slice never escapes this loop body.
+		if g.bcArr == nil {
+			g.bcArr = make([]sim.Time, g.size)
+		}
+		arrivals := g.bcArr
+		for i := range arrivals {
+			arrivals[i] = 0
+		}
 		arrivals[srcNode] = sendAt
 		delivered := 0
-		for _, node := range noc.BFSOrder(parent, srcNode) {
+		for _, node := range order {
 			if node == srcNode {
 				continue
 			}

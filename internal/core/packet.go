@@ -207,9 +207,29 @@ func UnpackDLL(dll uint32) (seq uint16, credits uint16) {
 	return uint16(dll), uint16(dll >> 16)
 }
 
+// NumChunks returns len(SplitPayload(size)) without building the slice:
+// the number of DL packets a transfer of size bytes occupies.
+func NumChunks(size uint32) int {
+	if size == 0 {
+		return 1
+	}
+	return int((size + MaxPayload - 1) / MaxPayload)
+}
+
+// ChunkAt returns SplitPayload(size)[i] without building the slice. i must
+// be in [0, NumChunks(size)): every chunk is MaxPayload except a final
+// remainder.
+func ChunkAt(size uint32, i int) uint32 {
+	if rem := size - uint32(i)*MaxPayload; rem < MaxPayload {
+		return rem
+	}
+	return MaxPayload
+}
+
 // SplitPayload chops size bytes into MaxPayload-sized packet payloads and
 // returns each chunk's size. A zero size yields a single zero-length chunk
-// (a header-only packet).
+// (a header-only packet). Hot paths iterate chunks arithmetically with
+// NumChunks/ChunkAt instead of allocating this slice per transfer.
 func SplitPayload(size uint32) []uint32 {
 	if size == 0 {
 		return []uint32{0}

@@ -1,0 +1,26 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkDRAMBankFSM measures the bank state machine on a row-hit-heavy
+// sequential stream interleaved with bank-conflicting strides: activate /
+// CAS / precharge decisions, bus reservation and refresh adjustment.
+func BenchmarkDRAMBankFSM(b *testing.B) {
+	m := New(testGeo(), DDR4_3200(), 0)
+	var t sim.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Three sequential lines (row hits), then a far stride that lands
+		// in another row of the same bank (row miss -> precharge cycle).
+		addr := uint64(i%3)*64 + uint64(i/3)%64*1<<20
+		done := m.Access(t, addr, 64, i%4 == 0)
+		if done > t {
+			t = done
+		}
+	}
+}

@@ -273,7 +273,7 @@ func speedup(baseline, t sim.Time) float64 {
 // geoMeanCell renders a geometric mean as a table cell, degrading to
 // "n/a" when the inputs contain a non-positive value (a pathological
 // speedup ratio) instead of aborting the whole experiment run.
-func geoMeanCell(vs []float64) interface{} {
+func geoMeanCell(vs []float64) any {
 	gm, err := stats.GeoMean(vs)
 	if err != nil {
 		return "n/a"

@@ -95,7 +95,7 @@ func runExtNearBank(o Options) []*stats.Table {
 		"workload", "2-cores", "4-cores", "8-cores", "16-cores")
 	for wi := range builders {
 		cell := wi * nC
-		row := []interface{}{outs[cell].name}
+		row := []any{outs[cell].name}
 		base := float64(outs[cell].makespan)
 		for ci := 0; ci < nC; ci++ {
 			row = append(row, base/float64(outs[cell+ci].makespan))
@@ -137,7 +137,7 @@ func runExtPrIM(o Options) []*stats.Table {
 	for ki := range kernels {
 		cell := ki * nM
 		cpu := outs[cell]
-		row := []interface{}{names[ki]}
+		row := []any{names[ki]}
 		for mi := 1; mi < nM; mi++ {
 			row = append(row, speedup(cpu, outs[cell+mi]))
 		}

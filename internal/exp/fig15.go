@@ -56,8 +56,8 @@ func runFig15(o Options) []*stats.Table {
 		"workload", "Base", "Base+Itrpt", "P-P", "P-P+Itrpt")
 	for wi := range builders {
 		cell := wi * nM
-		perfRow := []interface{}{outs[cell].name}
-		occRow := []interface{}{outs[cell].name}
+		perfRow := []any{outs[cell].name}
+		occRow := []any{outs[cell].name}
 		baseTime := float64(outs[cell].makespan)
 		for mi := range modes {
 			r := outs[cell+mi]

@@ -58,7 +58,7 @@ func runFig16(o Options) []*stats.Table {
 			"workload", "4GB/s", "8GB/s", "16GB/s", "25GB/s", "32GB/s", "64GB/s")
 		for ri := 0; ri < nRows; ri++ {
 			cell := (ci*nRows + ri) * nBW
-			row := []interface{}{outs[cell].name}
+			row := []any{outs[cell].name}
 			base := float64(outs[cell].makespan)
 			for bi := 0; bi < nBW; bi++ {
 				row = append(row, base/float64(outs[cell+bi].makespan))

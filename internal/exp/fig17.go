@@ -38,7 +38,7 @@ func runFig17(o Options) []*stats.Table {
 	per := map[core.TopologyKind][]float64{}
 	for wi := range builders {
 		cell := wi * nT
-		row := []interface{}{outs[cell].name}
+		row := []any{outs[cell].name}
 		base := float64(outs[cell].makespan)
 		for ti, topo := range topos {
 			v := base / float64(outs[cell+ti].makespan)

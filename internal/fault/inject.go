@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -51,6 +52,18 @@ type Injector struct {
 	links map[[2]int]*linkState
 	downs int // links with a scheduled or forced down event
 
+	// transitions holds every time a link's down state has (or will)
+	// become effective, sorted ascending. Between two consecutive entries
+	// the set of dead links is constant, which is what lets the network
+	// cache routes per epoch. A ForceDown that moves a link's death time
+	// earlier leaves its old entry behind — stale entries only split an
+	// epoch in two (a harmless extra cache flush), never merge distinct
+	// link states into one epoch. forcedVer additionally bumps on every
+	// ForceDown state change so cache entries filled before the call are
+	// invalidated even for query times preceding the new boundary.
+	transitions []sim.Time
+	forcedVer   uint64
+
 	// flitProb caches 1-(1-BER)^bits per wire size: the probability
 	// that at least one bit of the crossing is hit.
 	flitProb map[int]float64
@@ -91,6 +104,15 @@ func NewInjector(p *Plan) *Injector {
 			s.degrades = append(s.degrades, e)
 		}
 	}
+	// Record each link's effective death time as an epoch boundary (the
+	// event loop above already collapsed multiple down events per link to
+	// the earliest one).
+	for _, s := range in.links {
+		if s.down {
+			in.transitions = append(in.transitions, s.downAt)
+		}
+	}
+	sort.Slice(in.transitions, func(i, j int) bool { return in.transitions[i] < in.transitions[j] })
 	return in
 }
 
@@ -114,17 +136,23 @@ func (in *Injector) Down(a, b int, at sim.Time) bool {
 }
 
 // AnyDown reports whether any link is dead at time at — the router's
-// fast-path check before considering a reroute.
+// fast-path check before considering a reroute. O(1): death times only
+// ever move earlier, so the first epoch boundary is the earliest death.
 func (in *Injector) AnyDown(at sim.Time) bool {
-	if in == nil || in.downs == 0 {
-		return false
+	return in != nil && in.downs > 0 && at >= in.transitions[0]
+}
+
+// EpochAt returns the link-state epoch containing time at: a value that
+// changes whenever the set of dead links differs between two times (or a
+// ForceDown rewrites history between two calls), and is stable while it
+// does not. The network keys its route caches on it. A nil injector is
+// permanently in epoch 0.
+func (in *Injector) EpochAt(at sim.Time) uint64 {
+	if in == nil || len(in.transitions) == 0 {
+		return 0
 	}
-	for _, s := range in.links {
-		if s.down && at >= s.downAt {
-			return true
-		}
-	}
-	return false
+	i := sort.Search(len(in.transitions), func(i int) bool { return in.transitions[i] > at })
+	return in.forcedVer + uint64(i)
 }
 
 // ForceDown marks a link permanently dead from time at onward — the
@@ -135,11 +163,23 @@ func (in *Injector) ForceDown(a, b int, at sim.Time) {
 		return
 	}
 	s := in.state(a, b)
-	if !s.down {
+	switch {
+	case !s.down:
 		s.down, s.downAt = true, at
 		in.downs++
-	} else if at < s.downAt {
+	case at < s.downAt:
 		s.downAt = at
+	default:
+		return // already dead at or before at: no state change
+	}
+	// New epoch boundary: insert the death time into the sorted list and
+	// bump forcedVer so cache entries filled before this call die too.
+	in.forcedVer++
+	i := sort.Search(len(in.transitions), func(i int) bool { return in.transitions[i] >= at })
+	if i == len(in.transitions) || in.transitions[i] != at {
+		in.transitions = append(in.transitions, 0)
+		copy(in.transitions[i+1:], in.transitions[i:])
+		in.transitions[i] = at
 	}
 }
 

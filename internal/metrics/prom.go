@@ -55,7 +55,7 @@ func WriteProm(w io.Writer, namespace string, reg *Registry, ctrs *stats.Counter
 		prefix = PromName(namespace) + "_"
 	}
 	var err error
-	pf := func(format string, args ...interface{}) {
+	pf := func(format string, args ...any) {
 		if err == nil {
 			_, err = fmt.Fprintf(w, format, args...)
 		}

@@ -335,10 +335,10 @@ func (s *System) StartSampler(period sim.Time) *metrics.Sampler {
 	if s.Link != nil {
 		for gi, net := range s.Link.Networks() {
 			net := net
-			for _, key := range net.LinkKeys() {
-				key := key
+			for li, key := range net.LinkKeys() {
+				li := li
 				sp.AddProbe(fmt.Sprintf("linkutil.g%d.%s", gi, key),
-					func(now sim.Time) float64 { return net.OneLinkUtilization(key, now) })
+					func(now sim.Time) float64 { return net.LinkUtilizationAt(li, now) })
 			}
 		}
 		for d, c := range s.Link.Controllers() {

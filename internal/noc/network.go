@@ -82,9 +82,23 @@ type Stats struct {
 // Network simulates packet transport over a Topology. It is not
 // goroutine-safe; the single-threaded simulation engine serializes access.
 type Network struct {
-	topo  Topology
-	cfg   LinkConfig
-	links map[[2]int]*link
+	topo Topology
+	cfg  LinkConfig
+	n    int // node count, cached off the topology
+
+	// links is the dense channel table, indexed u*n+v (nil where the
+	// topology has no edge). The per-hop lookup on every packet crossing
+	// is one multiply and one bounds-checked load, replacing the old
+	// map[[2]int]*link hash on the hottest path in the simulator.
+	links []*link
+
+	// sortedKeys / sortedLinks are the report surface, precomputed once at
+	// NewNetwork: every "u->v" key in sorted order with its link alongside,
+	// so samplers and end-of-run tables never rebuild key strings.
+	sortedKeys  []string
+	sortedLinks []*link
+	byKey       map[string]*link
+
 	Stats Stats
 
 	// Fault injection, attached via SetFaults. inj==nil is the perfect
@@ -92,6 +106,26 @@ type Network struct {
 	// fault plans are written in.
 	inj *fault.Injector
 	gid []int
+
+	// Topology-only caches, filled at most once per (src,dst)/src for the
+	// network's lifetime: static routes do not depend on link state, so
+	// the common no-fault run computes each route, spanning tree and BFS
+	// order exactly once. Cached slices are shared with callers, which
+	// treat paths as read-only.
+	staticRoutes [][]int // src*n+dst -> path (nil = not computed)
+	trees        [][]int // src -> spanning-tree parent (nil = not computed)
+	orders       [][]int // src -> BFS delivery order for broadcast
+
+	// Fault-aware caches, valid for the injector epoch cacheEpoch: a
+	// fault-plan link-state transition (or a DLL ForceDown) bumps the
+	// injector epoch and flushes them. With no injector the epoch is
+	// constant zero and these are never touched.
+	cacheEpoch uint64
+	fstatus    []uint8 // src*n+dst -> route status at this epoch
+	froutes    [][]int // src*n+dst -> path for routeStatic/routeDetour
+	ftrees     [][]int // src -> live spanning-tree parent (nil = not computed)
+	fmiss      [][]int // src -> unreachable nodes under that tree
+	forders    [][]int // src -> BFS delivery order under that tree
 
 	// Observability, attached via SetMetrics. coll==nil records nothing;
 	// observation is passive and never changes any reservation, so an
@@ -104,13 +138,65 @@ func NewNetwork(topo Topology, cfg LinkConfig) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := &Network{topo: topo, cfg: cfg, links: make(map[[2]int]*link)}
-	for u := 0; u < topo.Nodes(); u++ {
+	nn := topo.Nodes()
+	n := &Network{
+		topo:  topo,
+		cfg:   cfg,
+		n:     nn,
+		links: make([]*link, nn*nn),
+		byKey: make(map[string]*link),
+	}
+	for u := 0; u < nn; u++ {
 		for _, v := range topo.Neighbors(u) {
-			n.links[[2]int{u, v}] = &link{credits: make([]sim.Time, cfg.Credits)}
+			l := &link{credits: make([]sim.Time, cfg.Credits)}
+			n.links[u*nn+v] = l
+			key := fmt.Sprintf("%d->%d", u, v)
+			n.sortedKeys = append(n.sortedKeys, key)
+			n.byKey[key] = l
 		}
 	}
+	sort.Strings(n.sortedKeys)
+	n.sortedLinks = make([]*link, len(n.sortedKeys))
+	for i, k := range n.sortedKeys {
+		n.sortedLinks[i] = n.byKey[k]
+	}
+	n.staticRoutes = make([][]int, nn*nn)
+	n.trees = make([][]int, nn)
+	n.orders = make([][]int, nn)
+	n.resetFaultCaches()
 	return n
+}
+
+// resetFaultCaches (re)allocates the epoch-keyed caches empty. The
+// topology-only caches survive: a static route is valid in every epoch.
+func (n *Network) resetFaultCaches() {
+	n.fstatus = make([]uint8, n.n*n.n)
+	n.froutes = make([][]int, n.n*n.n)
+	n.ftrees = make([][]int, n.n)
+	n.fmiss = make([][]int, n.n)
+	n.forders = make([][]int, n.n)
+}
+
+// syncEpoch flushes the fault-aware caches if the injector's link state
+// has transitioned since they were filled. With no injector the epoch is
+// constant zero and this is one predictable branch.
+func (n *Network) syncEpoch(at sim.Time) {
+	if ep := n.inj.EpochAt(at); ep != n.cacheEpoch {
+		n.resetFaultCaches()
+		n.cacheEpoch = ep
+	}
+}
+
+// staticRoute returns the topology's route src->dst, computed at most
+// once per pair.
+func (n *Network) staticRoute(src, dst int) []int {
+	idx := src*n.n + dst
+	p := n.staticRoutes[idx]
+	if p == nil {
+		p = n.topo.Route(src, dst)
+		n.staticRoutes[idx] = p
+	}
+	return p
 }
 
 // Topology returns the network's topology.
@@ -124,11 +210,12 @@ func (n *Network) Config() LinkConfig { return n.cfg }
 // walks paths a plan may have invalidated, and the caller is expected to
 // degrade (reroute, or fall back to host forwarding) instead of crashing.
 func (n *Network) link(u, v int) (*link, error) {
-	l, ok := n.links[[2]int{u, v}]
-	if !ok {
-		return nil, fmt.Errorf("noc: no link %d->%d in %s", u, v, n.topo.Name())
+	if u >= 0 && u < n.n && v >= 0 && v < n.n {
+		if l := n.links[u*n.n+v]; l != nil {
+			return l, nil
+		}
 	}
-	return l, nil
+	return nil, fmt.Errorf("noc: no link %d->%d in %s", u, v, n.topo.Name())
 }
 
 // serTime returns the serialization time of a packet of size bytes (rounded
@@ -179,7 +266,7 @@ func (n *Network) Send(at sim.Time, src, dst int, size int) (sim.Time, int, erro
 	if src == dst {
 		return at, 0, nil
 	}
-	path := n.topo.Route(src, dst)
+	path := n.staticRoute(src, dst)
 	t := at
 	for i := 0; i+1 < len(path); i++ {
 		var err error
@@ -200,12 +287,17 @@ func (n *Network) Send(at sim.Time, src, dst int, size int) (sim.Time, int, erro
 // spanning tree. It returns the arrival time at each node (src maps to at)
 // and the time the last node received the packet.
 func (n *Network) Broadcast(at sim.Time, src int, size int) (arrivals []sim.Time, last sim.Time, err error) {
-	parent, err := SpanningTree(n.topo, src)
-	if err != nil {
-		return nil, 0, err
+	parent := n.trees[src]
+	if parent == nil {
+		parent, err = SpanningTree(n.topo, src)
+		if err != nil {
+			return nil, 0, err
+		}
+		n.trees[src] = parent
+		n.orders[src] = BFSOrder(parent, src)
 	}
-	arrivals = make([]sim.Time, n.topo.Nodes())
-	order := BFSOrder(parent, src)
+	arrivals = make([]sim.Time, n.n)
+	order := n.orders[src]
 	arrivals[src] = at
 	last = at
 	for _, node := range order {
@@ -249,35 +341,49 @@ func BFSOrder(parent []int, src int) []int {
 func (n *Network) SetMetrics(c *metrics.Collector) { n.coll = c }
 
 // LinkUtilization returns the utilization of every link over [0, now],
-// keyed by "u->v".
+// keyed by "u->v". The map is built fresh per call; tight loops (the
+// metrics sampler) should use LinkUtilizationAt or AppendLinkUtilization
+// with the precomputed LinkKeys instead.
 func (n *Network) LinkUtilization(now sim.Time) map[string]float64 {
-	out := make(map[string]float64, len(n.links))
-	for k, l := range n.links {
-		out[fmt.Sprintf("%d->%d", k[0], k[1])] = l.bus.Utilization(now)
+	out := make(map[string]float64, len(n.sortedKeys))
+	for i, k := range n.sortedKeys {
+		out[k] = n.sortedLinks[i].bus.Utilization(now)
 	}
 	return out
 }
 
 // LinkKeys returns every "u->v" link key in deterministic sorted order —
-// the iteration order sampler probes and report tables must use.
-func (n *Network) LinkKeys() []string {
-	keys := make([]string, 0, len(n.links))
-	for k := range n.links {
-		keys = append(keys, fmt.Sprintf("%d->%d", k[0], k[1]))
+// the iteration order sampler probes and report tables must use. The
+// slice is precomputed at NewNetwork and shared: callers must not mutate
+// it.
+func (n *Network) LinkKeys() []string { return n.sortedKeys }
+
+// NumLinks returns the number of directed links.
+func (n *Network) NumLinks() int { return len(n.sortedLinks) }
+
+// LinkUtilizationAt returns the utilization over [0, now] of the i-th
+// link in LinkKeys order. It is the alloc-free per-link probe the metrics
+// sampler uses every tick.
+func (n *Network) LinkUtilizationAt(i int, now sim.Time) float64 {
+	return n.sortedLinks[i].bus.Utilization(now)
+}
+
+// AppendLinkUtilization appends the utilization of every link over
+// [0, now] to dst in LinkKeys order and returns the extended slice — the
+// reuse-buffer bulk variant: pass dst[:0] of a retained buffer to sample
+// every link with zero steady-state allocations.
+func (n *Network) AppendLinkUtilization(dst []float64, now sim.Time) []float64 {
+	for _, l := range n.sortedLinks {
+		dst = append(dst, l.bus.Utilization(now))
 	}
-	sort.Strings(keys)
-	return keys
+	return dst
 }
 
 // OneLinkUtilization returns the utilization of the named "u->v" link over
 // [0, now]; unknown keys return 0. Probe closures use this so sampling a
 // single link does not allocate a whole map per tick.
 func (n *Network) OneLinkUtilization(key string, now sim.Time) float64 {
-	var u, v int
-	if _, err := fmt.Sscanf(key, "%d->%d", &u, &v); err != nil {
-		return 0
-	}
-	l, ok := n.links[[2]int{u, v}]
+	l, ok := n.byKey[key]
 	if !ok {
 		return 0
 	}
@@ -288,7 +394,7 @@ func (n *Network) OneLinkUtilization(key string, now sim.Time) float64 {
 // crossing h hops counts h times).
 func (n *Network) TotalLinkBytes() uint64 {
 	var total uint64
-	for _, l := range n.links {
+	for _, l := range n.sortedLinks {
 		total += l.bytes
 	}
 	return total

@@ -79,6 +79,14 @@ func (n *Network) HopCrossing(u, v int, headAt sim.Time, size int) (sim.Time, fa
 	return arrive, verdict, nil
 }
 
+// Route status values for the epoch-keyed cache in Network.fstatus.
+const (
+	routeUnknown uint8 = iota
+	routeStatic        // static route fully alive at this epoch
+	routeDetour        // froutes holds a BFS detour around dead links
+	routeSevered       // src and dst partitioned at this epoch
+)
+
 // RouteAt returns a path from src to dst avoiding links that are
 // permanently down at time at. While every link on the static route is
 // alive this is exactly the topology's route (rerouted=false); otherwise
@@ -86,8 +94,40 @@ func (n *Network) HopCrossing(u, v int, headAt sim.Time, size int) (sim.Time, fa
 // reverses direction, mesh/torus route around the dead edge. An error
 // means src and dst are partitioned and the caller must leave the DL
 // fabric (host-forwarding fallback).
+//
+// Results are cached per (src,dst) for the current fault epoch: the set
+// of dead links is constant between link-state transitions, so every
+// packet of a transfer after the first reuses the decision. Returned
+// paths are shared with the cache and must be treated as read-only.
 func (n *Network) RouteAt(at sim.Time, src, dst int) (path []int, rerouted bool, err error) {
-	static := n.topo.Route(src, dst)
+	n.syncEpoch(at)
+	idx := src*n.n + dst
+	switch n.fstatus[idx] {
+	case routeStatic:
+		return n.froutes[idx], false, nil
+	case routeDetour:
+		return n.froutes[idx], true, nil
+	case routeSevered:
+		// The error is rebuilt per call so its timestamp names this
+		// query, not the first one of the epoch.
+		return nil, false, fmt.Errorf("noc: %d and %d partitioned in %s at t=%dps",
+			n.gidOf(src), n.gidOf(dst), n.topo.Name(), at)
+	}
+	path, rerouted, err = n.routeAtSlow(at, src, dst)
+	switch {
+	case err != nil:
+		n.fstatus[idx] = routeSevered
+	case rerouted:
+		n.fstatus[idx], n.froutes[idx] = routeDetour, path
+	default:
+		n.fstatus[idx], n.froutes[idx] = routeStatic, path
+	}
+	return path, rerouted, err
+}
+
+// routeAtSlow is the uncached fault-aware route computation.
+func (n *Network) routeAtSlow(at sim.Time, src, dst int) (path []int, rerouted bool, err error) {
+	static := n.staticRoute(src, dst)
 	if !n.inj.AnyDown(at) {
 		return static, false, nil
 	}
@@ -149,7 +189,35 @@ func (n *Network) bfsPathAt(at sim.Time, src, dst int) []int {
 // SpanningTreeAt returns a BFS broadcast tree over links alive at time
 // at, plus the nodes unreachable from src (parent entry -2). The caller
 // delivers to unreachable nodes some other way (host forwarding).
+//
+// Like RouteAt, results are cached per src for the current fault epoch
+// and shared with the caller as read-only slices.
 func (n *Network) SpanningTreeAt(at sim.Time, src int) (parent []int, unreachable []int) {
+	n.syncEpoch(at)
+	if p := n.ftrees[src]; p != nil {
+		return p, n.fmiss[src]
+	}
+	parent, unreachable = n.spanningTreeAtSlow(at, src)
+	n.ftrees[src], n.fmiss[src] = parent, unreachable
+	return parent, unreachable
+}
+
+// BroadcastPlanAt is SpanningTreeAt plus the tree's BFS delivery order,
+// with the order cached for the epoch alongside the tree — the broadcast
+// loop calls this once per chunk, and chunks of one transfer share the
+// epoch. All three slices are cache-shared and read-only to the caller.
+func (n *Network) BroadcastPlanAt(at sim.Time, src int) (parent, order, unreachable []int) {
+	parent, unreachable = n.SpanningTreeAt(at, src)
+	order = n.forders[src]
+	if order == nil {
+		order = BFSOrder(parent, src)
+		n.forders[src] = order
+	}
+	return parent, order, unreachable
+}
+
+// spanningTreeAtSlow is the uncached fault-aware tree computation.
+func (n *Network) spanningTreeAtSlow(at sim.Time, src int) (parent []int, unreachable []int) {
 	if !n.inj.AnyDown(at) {
 		p, err := SpanningTree(n.topo, src)
 		if err != nil {

@@ -49,7 +49,7 @@ func StatusCode(err error) int {
 	return 0
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out interface{}) error {
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err

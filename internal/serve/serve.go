@@ -57,7 +57,7 @@ type Config struct {
 	// (<id>.trace.jsonl), and the final status (<id>.status.json).
 	SideDir string
 	// Logf, when non-nil, receives operational log lines.
-	Logf func(format string, args ...interface{})
+	Logf func(format string, args ...any)
 }
 
 // maxJobHistory bounds the jobs map: beyond it, the oldest *terminal*
@@ -86,7 +86,7 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-func (s *Server) logf(format string, args ...interface{}) {
+func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
@@ -107,7 +107,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)

@@ -1,0 +1,23 @@
+package spec
+
+import (
+	"testing"
+)
+
+// BenchmarkTableIVSuite runs the whole Table IV workload suite end to end
+// per iteration (small scale): the macro benchmark every experiment grid
+// is made of, covering the kernel, NoC, DL-Controller and DRAM layers
+// together. Compare ns/op across commits for the end-to-end trajectory.
+func BenchmarkTableIVSuite(b *testing.B) {
+	workloads := []string{"bfs", "hotspot", "kmeans", "nw", "pr", "sssp", "tspow"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range workloads {
+			sp := Spec{Kind: KindSim, Workload: w, Scale: 10, Iters: 1}
+			if _, err := sp.RunSim(SimHooks{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

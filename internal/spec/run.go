@@ -135,13 +135,13 @@ func (r *SimRun) Report(w io.Writer) {
 
 // simJSON is the structured result body for a sim-kind job.
 type simJSON struct {
-	Spec       Spec              `json:"spec"`
-	MakespanPS uint64            `json:"makespan_ps"`
-	IDCStall   float64           `json:"idc_stall_ratio"`
-	Checksum   string            `json:"checksum"`
-	DRAM       map[string]uint64 `json:"dram"`
-	IC         map[string]uint64 `json:"ic,omitempty"`
-	HostBusOcc float64           `json:"host_bus_occupation,omitempty"`
+	Spec       Spec               `json:"spec"`
+	MakespanPS uint64             `json:"makespan_ps"`
+	IDCStall   float64            `json:"idc_stall_ratio"`
+	Checksum   string             `json:"checksum"`
+	DRAM       map[string]uint64  `json:"dram"`
+	IC         map[string]uint64  `json:"ic,omitempty"`
+	HostBusOcc float64            `json:"host_bus_occupation,omitempty"`
 	Energy     map[string]float64 `json:"energy_joules"`
 }
 

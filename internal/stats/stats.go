@@ -166,7 +166,7 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
 // Addf appends a row, formatting each value with %v for strings/ints and
 // trimmed %.3g-style formatting for floats.
-func (t *Table) Addf(cells ...interface{}) {
+func (t *Table) Addf(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
