@@ -26,6 +26,9 @@ go test -race -short ./...
 echo "== go test -run Fuzz ./internal/core/ (fuzz seed corpus)"
 go test -run Fuzz ./internal/core/
 
+echo "== go test -race -run Sharded ./... (parallel-kernel invariance under the race detector)"
+go test -race -run Sharded ./...
+
 if [ "${1:-}" != "quick" ]; then
 	echo "== go test ./..."
 	go test ./...
@@ -46,6 +49,14 @@ if [ "${1:-}" != "quick" ]; then
 	echo "== dlsim golden output (perf work must keep stdout byte-identical)"
 	"$tmp/dlsim" -workload p2p >"$tmp/golden_check.txt"
 	cmp testdata/golden_dlsim_p2p.txt "$tmp/golden_check.txt"
+
+	echo "== dlsim sharded-kernel golden (-shards N must not change a byte)"
+	"$tmp/dlsim" -workload p2p -shards 4 >"$tmp/golden_shards.txt"
+	cmp testdata/golden_dlsim_p2p.txt "$tmp/golden_shards.txt"
+
+	echo "== shard differential harness (captured workloads, shards 1/2/4/8 vs single queue)"
+	go test -run 'ShardedReportByteIdentity|ShardedExperimentByteIdentity' \
+		./internal/spec/ ./internal/exp/
 
 	echo "== dlperf quick smoke (writes BENCH_ci.json, exits non-zero on a dead suite)"
 	go run ./cmd/dlperf -label ci -quick -o "$tmp" >/dev/null

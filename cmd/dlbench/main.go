@@ -30,13 +30,14 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("exp", "", "experiment id (fig01, fig10..fig17, table1..table5, abl-*) or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		full  = flag.Bool("full", false, "paper-scale inputs (slower); default is quick mode")
-		seed  = flag.Int64("seed", spec.DefaultSeed, "input generator seed")
-		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs per experiment")
-		quiet = flag.Bool("q", false, "suppress per-job progress on stderr")
-		csv   = flag.String("csv", "", "directory to also write tables as CSV")
+		id     = flag.String("exp", "", "experiment id (fig01, fig10..fig17, table1..table5, abl-*) or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		full   = flag.Bool("full", false, "paper-scale inputs (slower); default is quick mode")
+		seed   = flag.Int64("seed", spec.DefaultSeed, "input generator seed")
+		jobs   = flag.Int("jobs", runtime.GOMAXPROCS(0), "parallel simulation jobs per experiment")
+		quiet  = flag.Bool("q", false, "suppress per-job progress on stderr")
+		shards = flag.Int("shards", 0, "build every system on the sharded event kernel with N lanes (0/1 = single queue; tables are byte-identical for every value)")
+		csv    = flag.String("csv", "", "directory to also write tables as CSV")
 
 		faultSpec = flag.String("fault", "", "link-fault plan applied to every DIMM-Link run, e.g. 'ber=1e-7,down=0-1@10us' (see dlsim -fault)")
 		faultSeed = flag.Int64("faultseed", spec.DefaultFaultSeed, "seed for the fault plan's error draws")
@@ -87,6 +88,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dlbench: %v\n", err)
 		os.Exit(1)
 	}
+	opts.Shards = *shards
 	targets, err := sp.Targets()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dlbench: %v (use -list)\n", err)

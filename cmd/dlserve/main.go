@@ -40,6 +40,7 @@ func main() {
 		queue      = flag.Int("queue", 16, "pending-job queue depth (full queue rejects with 429)")
 		cache      = flag.Int("cache", 64, "result cache bound (entries)")
 		expJobs    = flag.Int("jobs", 0, "per-experiment grid pool width (0 = GOMAXPROCS); output is identical for every value")
+		shards     = flag.Int("shards", 0, "sharded event kernel lanes per simulation (0/1 = single queue); output is identical for every value")
 		jobTimeout = flag.Duration("jobtimeout", 0, "per-job wall-clock bound (0 = none)")
 		sideDir    = flag.String("sidedir", "", "directory for per-job side files (spec, trace, status)")
 		drainGrace = flag.Duration("drain", 2*time.Minute, "max time to wait for in-flight jobs on shutdown before canceling them")
@@ -55,7 +56,7 @@ func main() {
 
 	srv := serve.NewServer(serve.Config{
 		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
-		ExpJobs: *expJobs, JobTimeout: *jobTimeout, SideDir: *sideDir,
+		ExpJobs: *expJobs, Shards: *shards, JobTimeout: *jobTimeout, SideDir: *sideDir,
 		Logf: logger.Printf,
 	})
 

@@ -46,6 +46,8 @@ func main() {
 		faultSpec = flag.String("fault", "", "link-fault plan, e.g. 'ber=1e-7,down=0-1@10us,stall=2-3@5us+20us,degrade=1-2@0*0.5' (dimm-link only)")
 		faultSeed = flag.Int64("faultseed", spec.DefaultFaultSeed, "seed for the fault plan's error draws")
 
+		shards = flag.Int("shards", 0, "run on the sharded event kernel with N lanes (0/1 = single queue; output is byte-identical for every value)")
+
 		withMetrics = flag.Bool("metrics", false, "attach the observability layer and report latency percentiles and per-link utilization")
 		tracePath   = flag.String("trace", "", "write a JSONL event trace to this file (implies -metrics; stdout is unchanged by tracing)")
 		samplePd    = flag.Uint64("sample", 0, "sample link utilization every N ns of simulated time (implies -metrics; 0 disables)")
@@ -84,6 +86,7 @@ func main() {
 	// itself byte-identical with and without -trace.
 	var hooks spec.SimHooks
 	hooks.Profile = *profile
+	hooks.Shards = *shards
 	var traceFile *os.File
 	report := *withMetrics || *samplePd > 0
 	if report || *tracePath != "" {
@@ -159,8 +162,9 @@ func reportMetrics(coll *metrics.Collector, sys *nmp.System, makespan sim.Time) 
 	if sys.Link != nil {
 		ut := stats.NewTable("per-link utilization over the kernel", "link", "utilization")
 		for gi, net := range sys.Link.Networks() {
-			for _, key := range net.LinkKeys() {
-				ut.Addf(fmt.Sprintf("g%d %s", gi, key), net.OneLinkUtilization(key, makespan))
+			snap := net.UtilizationSnapshot(makespan)
+			for i, key := range net.LinkKeys() {
+				ut.Addf(fmt.Sprintf("g%d %s", gi, key), snap[i])
 			}
 		}
 		fmt.Println()

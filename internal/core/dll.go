@@ -226,7 +226,7 @@ func (l *Link) hostFallback(at sim.Time, srcDIMM, dstDIMM int, wire int) sim.Tim
 // crosses under the DLL, and nodes severed from the source (or stranded
 // by a link dying mid-broadcast) receive their copy over the host
 // fallback instead.
-func (l *Link) broadcastWithinFI(at sim.Time, src int, size uint32) sim.Time {
+func (l *Link) broadcastWithinFI(at sim.Time, src int, size uint32, shard int) sim.Time {
 	g := l.groups[l.groupOf[src]]
 	if g.size == 1 {
 		return at
@@ -238,15 +238,10 @@ func (l *Link) broadcastWithinFI(at sim.Time, src int, size uint32) sim.Time {
 		sendAt := l.packetize(t)
 		wire := wireBytesFor(ChunkAt(size, ci))
 		parent, order, unreachable := g.net.BroadcastPlanAt(sendAt, srcNode)
-		// The arrivals scratch lives on the group: the engine is
-		// single-threaded and the slice never escapes this loop body.
-		if g.bcArr == nil {
-			g.bcArr = make([]sim.Time, g.size)
-		}
-		arrivals := g.bcArr
-		for i := range arrivals {
-			arrivals[i] = 0
-		}
+		// The arrivals scratch is owned by the executing shard, not the
+		// flooded group: two lanes flooding concurrently never share a
+		// buffer, and the slice never escapes this loop body.
+		arrivals := l.bcScratch.forShard(shard, g.size)
 		arrivals[srcNode] = sendAt
 		delivered := 0
 		for _, node := range order {

@@ -107,6 +107,7 @@ type thread struct {
 	id       int
 	homeDIMM int
 	coreID   int
+	eng      *sim.Engine // the event lane this thread's resumptions run on
 	time     sim.Time
 	ops      chan op
 	ack      chan struct{}
@@ -125,6 +126,14 @@ type Group struct {
 	period  sim.Time
 	threads []*thread
 	running int
+
+	// laneOf, when set, assigns each thread's resumption events to the
+	// event lane owning its home DIMM (sharded kernel; see internal/sim
+	// shard.go). nil keeps every thread on the group's engine. In the
+	// deterministic-merge mode the composite engine executes either
+	// assignment in the identical order, so this is purely an ownership
+	// annotation until the model runs parallel windows.
+	laneOf func(homeDIMM int) *sim.Engine
 
 	barrierArr  []sim.Time
 	barrierIn   []bool
@@ -146,6 +155,10 @@ func NewGroup(eng *sim.Engine, cfg Config, mem Memory) *Group {
 	return &Group{eng: eng, cfg: cfg, mem: mem, period: sim.Period(cfg.ClockHz)}
 }
 
+// SetLanes routes each subsequently spawned thread's events to the engine
+// laneOf returns for its home DIMM. Call before Spawn.
+func (g *Group) SetLanes(laneOf func(homeDIMM int) *sim.Engine) { g.laneOf = laneOf }
+
 // EnableProfiling starts recording the per-thread, per-DIMM access counts
 // used by distance-aware task mapping. dimmOf maps an address to its DIMM;
 // numDIMMs sizes the table.
@@ -166,8 +179,12 @@ func (g *Group) Spawn(homeDIMM, coreID int, body func(*Ctx)) *ThreadStats {
 		id:       len(g.threads),
 		homeDIMM: homeDIMM,
 		coreID:   coreID,
+		eng:      g.eng,
 		ops:      make(chan op),
 		ack:      make(chan struct{}),
+	}
+	if g.laneOf != nil {
+		t.eng = g.laneOf(homeDIMM)
 	}
 	g.threads = append(g.threads, t)
 	g.running++
@@ -192,7 +209,7 @@ func (g *Group) Run() sim.Time {
 	g.barrierIn = make([]bool, len(g.threads))
 	for _, t := range g.threads {
 		t := t
-		g.eng.At(g.eng.Now(), func() { g.step(t) })
+		t.eng.At(t.eng.Now(), func() { g.step(t) })
 	}
 	for g.running > 0 {
 		if !g.eng.Step() {
@@ -284,7 +301,7 @@ func (g *Group) step(t *thread) {
 }
 
 func (g *Group) schedule(t *thread) {
-	g.eng.At(t.time, func() { g.step(t) })
+	t.eng.At(t.time, func() { g.step(t) })
 }
 
 // issue puts a non-dependent access into the window, stalling only when the

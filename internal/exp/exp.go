@@ -58,6 +58,12 @@ type Options struct {
 	// It only takes effect on runs whose config carries a metrics
 	// collector; bare runs are unaffected.
 	SamplePeriod sim.Time
+
+	// Shards > 1 builds every simulated system on the sharded event
+	// kernel (nmp.Config.Shards). The deterministic-merge mode keeps
+	// every rendered table bit-identical for every value, exactly like
+	// Jobs.
+	Shards int
 }
 
 // DefaultOptions returns quick-mode options (seed 42, pool width
@@ -192,6 +198,7 @@ func execute(o Options, w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
 
 	c := nmp.DefaultConfig(cfg.dimms, cfg.channels, mech)
 	o.tune(&c)
+	c.Shards = o.Shards
 	if o.Fault.Active() {
 		c.DL.Fault = o.Fault
 	}

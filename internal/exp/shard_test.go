@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardedExperimentByteIdentity runs one full experiment grid on the
+// sharded kernel and checks every rendered table against the single-queue
+// run — the experiment-harness end of the shard differential (the per-
+// workload harness lives in internal/spec). Options.Shards, like
+// Options.Jobs, must never change a rendered byte.
+func TestShardedExperimentByteIdentity(t *testing.T) {
+	// fig01 sweeps real simulations (the motivation bandwidth curves) in
+	// well under a second of quick-mode wall clock.
+	e, ok := ByID("fig01")
+	if !ok {
+		t.Fatal("experiment fig01 not registered")
+	}
+	render := func(shards int) []byte {
+		o := DefaultOptions()
+		o.Jobs = 2
+		o.Shards = shards
+		var buf bytes.Buffer
+		for _, tb := range e.Run(o) {
+			tb.Render(&buf)
+		}
+		return buf.Bytes()
+	}
+	want := render(0)
+	if len(want) == 0 {
+		t.Fatal("empty baseline tables")
+	}
+	counts := []int{1, 4}
+	if !testing.Short() {
+		counts = []int{1, 2, 4, 8}
+	}
+	for _, n := range counts {
+		if got := render(n); !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d: tables diverge from single-queue run\n--- shards=0\n%s--- shards=%d\n%s",
+				n, want, n, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fault
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -42,11 +43,20 @@ type linkState struct {
 	degrades []Event // KindDegrade, in plan order
 }
 
-// Injector answers per-crossing fault queries for one simulated system.
-// It is NOT safe for concurrent use; each system builds its own (the
-// shared Plan stays read-only). A nil *Injector means a perfect
-// physical layer and is valid to query.
+// Injector answers per-crossing fault queries for one simulated system;
+// each system builds its own (the shared Plan stays read-only). A nil
+// *Injector means a perfect physical layer and is valid to query.
+//
+// The injector is shared by every DL group network of its system, so
+// under the sharded kernel it is the one fault structure multiple lanes
+// may query concurrently. A mutex guards the lazily mutated state (the
+// flit-probability cache, and the link map / epoch list that ForceDown
+// rewrites). Draws are counter-based (Verdict hashes the packet ordinal),
+// so the results are independent of query order — locking changes no
+// simulated outcome, and fault-free runs never construct an injector at
+// all.
 type Injector struct {
+	mu    sync.Mutex
 	seed  uint64
 	ber   float64
 	links map[[2]int]*linkState
@@ -131,15 +141,24 @@ func (in *Injector) Down(a, b int, at sim.Time) bool {
 	if in == nil {
 		return false
 	}
+	in.mu.Lock()
 	s := in.links[linkKey(a, b)]
-	return s != nil && s.down && at >= s.downAt
+	down := s != nil && s.down && at >= s.downAt
+	in.mu.Unlock()
+	return down
 }
 
 // AnyDown reports whether any link is dead at time at — the router's
 // fast-path check before considering a reroute. O(1): death times only
 // ever move earlier, so the first epoch boundary is the earliest death.
 func (in *Injector) AnyDown(at sim.Time) bool {
-	return in != nil && in.downs > 0 && at >= in.transitions[0]
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	any := in.downs > 0 && at >= in.transitions[0]
+	in.mu.Unlock()
+	return any
 }
 
 // EpochAt returns the link-state epoch containing time at: a value that
@@ -148,7 +167,12 @@ func (in *Injector) AnyDown(at sim.Time) bool {
 // does not. The network keys its route caches on it. A nil injector is
 // permanently in epoch 0.
 func (in *Injector) EpochAt(at sim.Time) uint64 {
-	if in == nil || len(in.transitions) == 0 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.transitions) == 0 {
 		return 0
 	}
 	i := sort.Search(len(in.transitions), func(i int) bool { return in.transitions[i] > at })
@@ -162,6 +186,8 @@ func (in *Injector) ForceDown(a, b int, at sim.Time) {
 	if in == nil {
 		return
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	s := in.state(a, b)
 	switch {
 	case !s.down:
@@ -189,6 +215,8 @@ func (in *Injector) StallClear(a, b int, at sim.Time) sim.Time {
 	if in == nil {
 		return at
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	s := in.links[linkKey(a, b)]
 	if s == nil || len(s.stalls) == 0 {
 		return at
@@ -212,6 +240,8 @@ func (in *Injector) Factor(a, b int, at sim.Time) float64 {
 	if in == nil {
 		return 1
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	s := in.links[linkKey(a, b)]
 	if s == nil {
 		return 1
@@ -234,11 +264,13 @@ func (in *Injector) Verdict(a, b int, ordinal uint64, wireBytes int) Verdict {
 	if in == nil || in.ber <= 0 {
 		return VerdictOK
 	}
+	in.mu.Lock()
 	p, ok := in.flitProb[wireBytes]
 	if !ok {
 		p = 1 - math.Pow(1-in.ber, float64(8*wireBytes))
 		in.flitProb[wireBytes] = p
 	}
+	in.mu.Unlock()
 	u := float64(in.mix(a, b, ordinal, 0)>>11) / (1 << 53)
 	if u >= p {
 		return VerdictOK

@@ -70,6 +70,17 @@ type Config struct {
 	// controllers). nil — the default — records nothing and leaves the
 	// simulation on the exact un-instrumented path.
 	Metrics *metrics.Collector
+
+	// Shards, when > 1, builds the system on a sharded event kernel
+	// (sim.ShardedEngine): DIMMs are split into contiguous blocks, one
+	// event lane each, with the conservative lookahead derived from the
+	// DL link SerDes and hop latency. The full system model runs in
+	// deterministic-merge mode — execution order, and therefore every
+	// output byte, is identical to the single-engine run for any shard
+	// count — so Shards is pure execution policy: it is set by SimHooks /
+	// exp.Options, never by the content-addressed spec. Values above the
+	// DIMM count are clamped; 0 and 1 keep the plain single engine.
+	Shards int
 }
 
 // DefaultConfig returns the Table V system for the given DIMM/channel
@@ -128,6 +139,7 @@ type System struct {
 	nmpMem  *nmpMemory // base memory for the end-of-kernel cache flush
 	Ctrs    stats.Counters
 	sampler *metrics.Sampler
+	sharded *sim.ShardedEngine // non-nil when Cfg.Shards > 1; Eng is lane 0
 }
 
 // NewSystem builds a system from cfg.
@@ -139,12 +151,28 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	eng := sim.NewEngine()
+	var sharded *sim.ShardedEngine
+	if cfg.Shards > 1 {
+		lanes := cfg.Shards
+		if lanes > cfg.Geo.NumDIMMs {
+			lanes = cfg.Geo.NumDIMMs
+		}
+		// The lookahead comes from the DL link physics; mechanisms without
+		// DL links still get a valid (positive) window, which the merged
+		// mode never consults for correctness anyway.
+		dl := cfg.DL
+		if dl.NumGroups <= 0 {
+			dl.NumGroups = core.GroupsFor(cfg.Geo.NumDIMMs)
+		}
+		sharded = sim.NewShardedEngine(lanes, core.CrossGroupLookahead(dl))
+		eng = sharded.Lane(0)
+	}
 	space := mem.MustNewSpace(cfg.Geo)
 	modules := make([]*dram.Module, cfg.Geo.NumDIMMs)
 	for i := range modules {
 		modules[i] = dram.New(cfg.Geo, cfg.DRAM, i)
 	}
-	s := &System{Cfg: cfg, Eng: eng, Space: space, Modules: modules}
+	s := &System{Cfg: cfg, Eng: eng, Space: space, Modules: modules, sharded: sharded}
 
 	switch cfg.Mech {
 	case MechDIMMLink:
@@ -213,7 +241,28 @@ func (s *System) NewGroup() *cores.Group {
 	if s.Cfg.Mech == MechHostCPU {
 		coreCfg = s.Cfg.HostCore
 	}
-	return cores.NewGroup(s.Eng, coreCfg, s.memory)
+	g := cores.NewGroup(s.Eng, coreCfg, s.memory)
+	if s.sharded != nil {
+		g.SetLanes(func(homeDIMM int) *sim.Engine {
+			return s.sharded.Lane(s.LaneFor(homeDIMM))
+		})
+	}
+	return g
+}
+
+// Sharded returns the sharded event kernel the system was built on, or nil
+// for a plain single-engine system.
+func (s *System) Sharded() *sim.ShardedEngine { return s.sharded }
+
+// LaneFor returns the event lane owning a DIMM: contiguous DIMM blocks map
+// to lanes, aligned with the contiguous DL-group split, so a group never
+// spans lanes when Shards divides the group count. Host threads (DIMM -1)
+// and unsharded systems live on lane 0.
+func (s *System) LaneFor(dimm int) int {
+	if s.sharded == nil || dimm < 0 {
+		return 0
+	}
+	return dimm * s.sharded.Lanes() / s.Cfg.Geo.NumDIMMs
 }
 
 // Threads returns how many worker threads this system runs: one per NMP

@@ -131,6 +131,13 @@ type Network struct {
 	// observation is passive and never changes any reservation, so an
 	// instrumented run is timing-identical to a bare one.
 	coll *metrics.Collector
+
+	// utilBuf is the network-owned buffer behind UtilizationSnapshot. PR 5
+	// had callers retain one shared buffer across networks, which assumed
+	// a single-threaded engine; owning the buffer here scopes it to the
+	// network's shard (networks are per DL group, the shard unit), so
+	// concurrent snapshots of different networks never collide.
+	utilBuf []float64
 }
 
 // NewNetwork builds the link state for every edge of the topology.
@@ -377,6 +384,18 @@ func (n *Network) AppendLinkUtilization(dst []float64, now sim.Time) []float64 {
 		dst = append(dst, l.bus.Utilization(now))
 	}
 	return dst
+}
+
+// UtilizationSnapshot returns the utilization of every link over [0, now]
+// in LinkKeys order, in a buffer owned by the network and reused across
+// calls (valid until the next snapshot of the same network). This is the
+// shard-safe replacement for sharing one AppendLinkUtilization buffer
+// across networks: utilization queries retire BusyLine spans, so both the
+// buffer and the underlying line state must stay confined to the
+// network's owning shard.
+func (n *Network) UtilizationSnapshot(now sim.Time) []float64 {
+	n.utilBuf = n.AppendLinkUtilization(n.utilBuf[:0], now)
+	return n.utilBuf
 }
 
 // OneLinkUtilization returns the utilization of the named "u->v" link over

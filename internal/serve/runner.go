@@ -82,7 +82,7 @@ func newServerCore(cfg Config) *Server {
 		start:      time.Now(),
 	}
 	s.runSpec = func(ctx context.Context, sp spec.Spec, progress func(int, int), coll *metrics.Collector) (*Result, error) {
-		return executeSpec(ctx, sp, s.cfg.ExpJobs, progress, coll)
+		return executeSpec(ctx, sp, s.cfg.ExpJobs, s.cfg.Shards, progress, coll)
 	}
 	s.routes()
 	return s
@@ -235,7 +235,7 @@ func (s *Server) evictionsLocked(n int) {
 
 // executeSpec is the real job runner: render exactly what the equivalent
 // CLI invocation would print, plus the structured body.
-func executeSpec(ctx context.Context, sp spec.Spec, expJobs int, progress func(done, total int), coll *metrics.Collector) (*Result, error) {
+func executeSpec(ctx context.Context, sp spec.Spec, expJobs, shards int, progress func(done, total int), coll *metrics.Collector) (*Result, error) {
 	n, err := sp.Normalized()
 	if err != nil {
 		return nil, err
@@ -247,7 +247,7 @@ func executeSpec(ctx context.Context, sp spec.Spec, expJobs int, progress func(d
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		run, err := n.RunSim(spec.SimHooks{Metrics: coll})
+		run, err := n.RunSim(spec.SimHooks{Metrics: coll, Shards: shards})
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +259,7 @@ func executeSpec(ctx context.Context, sp spec.Spec, expJobs int, progress func(d
 		}
 		return &Result{Text: text.Bytes(), JSON: js}, nil
 	case spec.KindExp:
-		results, err := n.RunExp(ctx, expJobs, progress)
+		results, err := n.RunExp(ctx, spec.ExpHooks{Jobs: expJobs, Shards: shards}, progress)
 		if err != nil {
 			return nil, err
 		}

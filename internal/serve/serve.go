@@ -49,6 +49,11 @@ type Config struct {
 	// internal/exp (0 = GOMAXPROCS). Output is byte-identical for every
 	// value, so this is pure execution policy.
 	ExpJobs int
+	// Shards selects the sharded event kernel for every simulation the
+	// server runs (0/1 = single queue). Like ExpJobs, output — and
+	// therefore the content-addressed cache — is byte-identical for
+	// every value.
+	Shards int
 	// JobTimeout, when non-zero, bounds each job's wall-clock run time;
 	// an expired job is reported as canceled.
 	JobTimeout time.Duration

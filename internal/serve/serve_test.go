@@ -163,7 +163,7 @@ func TestExpJobEndToEnd(t *testing.T) {
 	}
 	_, body := getResult(t, ts, st.ID, "")
 
-	results, err := sp.RunExp(context.Background(), 4, nil)
+	results, err := sp.RunExp(context.Background(), spec.ExpHooks{Jobs: 4}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestShardedMergedPopOrderMatchesReference is the multi-queue property
+// test: a batch of events with heavily colliding timestamps, scattered
+// across the lanes of a merged-mode sharded engine, must execute in
+// exactly the (at, seq) total order a single reference engine produces
+// for the same scheduling sequence. This is the determinism contract the
+// byte-identity guarantee rests on, stated directly against the kernel.
+func TestShardedMergedPopOrderMatchesReference(t *testing.T) {
+	for _, lanes := range []int{1, 2, 3, 4, 8} {
+		rng := lcg(42)
+		ref := NewEngine()
+		sh := NewShardedEngine(lanes, 1)
+
+		var refLog, shLog []int
+		for i := 0; i < 2000; i++ {
+			i := i
+			// Tiny timestamp range so same-instant collisions are common
+			// and the shared sequence counter does the ordering work.
+			at := Time(rng.next() % 16)
+			lane := int(rng.next()) % lanes
+			ref.At(at, func() { refLog = append(refLog, i) })
+			sh.Lane(lane).At(at, func() { shLog = append(shLog, i) })
+		}
+		ref.Run()
+		sh.Run()
+		if len(refLog) != len(shLog) {
+			t.Fatalf("lanes=%d: ran %d events, reference ran %d", lanes, len(shLog), len(refLog))
+		}
+		for i := range refLog {
+			if refLog[i] != shLog[i] {
+				t.Fatalf("lanes=%d: execution order diverges at %d: got id %d, reference %d",
+					lanes, i, shLog[i], refLog[i])
+			}
+		}
+	}
+}
+
+// TestShardedMergedDynamicMatchesReference extends the property test to a
+// dynamic workload: callbacks schedule follow-up events (on other lanes,
+// at the current instant and later) and send merged-mode Mail, so the
+// shared sequence counter is exercised mid-execution, not just during
+// setup. The reference engine runs the identical program.
+func TestShardedMergedDynamicMatchesReference(t *testing.T) {
+	const lanes = 4
+	run := func(schedule func(at Time, fn func()), laneSchedule func(lane int, at Time, fn func())) []uint64 {
+		var log []uint64
+		rng := lcg(7)
+		var spawn func(id uint64, depth int) func()
+		spawn = func(id uint64, depth int) func() {
+			return func() {
+				log = append(log, id)
+				if depth >= 3 {
+					return
+				}
+				n := int(rng.next() % 3)
+				for k := 0; k < n; k++ {
+					child := id*8 + uint64(k) + 1
+					delay := rng.next() % 5 // 0 is legal: same-instant follow-up
+					lane := int(rng.next()) % lanes
+					laneSchedule(lane, Time(delay), spawn(child, depth+1))
+				}
+			}
+		}
+		for i := 0; i < 200; i++ {
+			schedule(Time(rng.next()%32), spawn(uint64(i)<<40, 0))
+		}
+		return log
+	}
+
+	ref := NewEngine()
+	refLog := run(
+		func(at Time, fn func()) { ref.At(at, fn) },
+		func(_ int, d Time, fn func()) { ref.After(d, fn) },
+	)
+	ref.Run()
+	refLog = append([]uint64(nil), refLog...)
+
+	sh := NewShardedEngine(lanes, 1)
+	shLog := run(
+		func(at Time, fn func()) { sh.Lane(0).At(at, fn) },
+		func(lane int, d Time, fn func()) {
+			// Half the follow-ups ride the merged-mode mailbox, which must
+			// serialize identically to a direct schedule.
+			l := sh.Lane(lane)
+			if d%2 == 0 {
+				l.After(d, fn)
+			} else {
+				l.Mail(lane, l.Now()+d, 0, fn)
+			}
+		},
+	)
+	sh.Run()
+
+	if len(refLog) != len(shLog) {
+		t.Fatalf("ran %d events, reference ran %d", len(shLog), len(refLog))
+	}
+	for i := range refLog {
+		if refLog[i] != shLog[i] {
+			t.Fatalf("execution order diverges at %d: got %#x, reference %#x", i, shLog[i], refLog[i])
+		}
+	}
+	if sh.Processed() != ref.Processed() {
+		t.Fatalf("processed %d, reference %d", sh.Processed(), ref.Processed())
+	}
+	if sh.Now() != ref.Now() {
+		t.Fatalf("clock %d, reference %d", sh.Now(), ref.Now())
+	}
+}
+
+// TestShardedMergedLaneDelegation pins the lane-handle surface in merged
+// mode: every lane observes the composite clock (idle lanes included),
+// Step on a lane pops the global minimum, and RunUntil semantics match
+// the standalone engine's boundary behavior.
+func TestShardedMergedLaneDelegation(t *testing.T) {
+	sh := NewShardedEngine(3, 1)
+	var ran []Time
+	sh.Lane(0).At(50, func() { ran = append(ran, 50) })
+	sh.Lane(2).At(100, func() { ran = append(ran, 100) })
+	sh.Lane(2).At(101, func() { ran = append(ran, 101) })
+
+	// Step through a lane handle: pops lane 0's event (the global min),
+	// and every lane handle sees the advanced composite clock.
+	if !sh.Lane(1).Step() {
+		t.Fatal("Step found no event")
+	}
+	if len(ran) != 1 || ran[0] != 50 {
+		t.Fatalf("Step ran %v, want [50]", ran)
+	}
+	for i := 0; i < 3; i++ {
+		if sh.Lane(i).Now() != 50 {
+			t.Fatalf("lane %d clock %d after Step, want 50", i, sh.Lane(i).Now())
+		}
+	}
+
+	sh.RunUntil(100)
+	if len(ran) != 2 || ran[1] != 100 {
+		t.Fatalf("RunUntil(100) ran %v, want [50 100]", ran)
+	}
+	if sh.Now() != 100 || sh.Lane(0).Now() != 100 {
+		t.Fatalf("clock %d / lane0 %d after RunUntil(100), want 100", sh.Now(), sh.Lane(0).Now())
+	}
+	if sh.Pending() != 1 || sh.Lane(0).Pending() != 1 {
+		t.Fatalf("pending %d / lane-view %d, want 1", sh.Pending(), sh.Lane(0).Pending())
+	}
+	sh.Run()
+	if sh.Processed() != 3 || sh.Lane(1).Processed() != 3 {
+		t.Fatalf("processed %d / lane-view %d, want 3", sh.Processed(), sh.Lane(1).Processed())
+	}
+	// An idle lane's After must be anchored at the composite clock, not
+	// its stale local one.
+	sh.Lane(1).After(10, func() { ran = append(ran, 111) })
+	sh.Run()
+	if ran[len(ran)-1] != 111 || sh.Now() != 111 {
+		t.Fatalf("After on idle lane: ran %v, clock %d", ran, sh.Now())
+	}
+}
+
+// shardBenchSmall is the test-sized ShardBench config: big enough that
+// windows interleave mail with local events, small enough for -race runs.
+func shardBenchSmall() ShardBenchConfig {
+	return ShardBenchConfig{
+		Groups:     16,
+		PerGroup:   32,
+		Events:     40_000,
+		MaxDelay:   512,
+		Lookahead:  128,
+		CrossEvery: 8,
+		Seed:       0xD1D1,
+	}
+}
+
+// TestShardedBenchDigestInvariance is the parallel-mode differential: the
+// synthetic sharded model must produce an identical digest, event count
+// and simulated span at every lane count. The digest folds per-group
+// execution order, so any ordering divergence — a mis-delivered mail, a
+// lane running past the horizon — flips it.
+func TestShardedBenchDigestInvariance(t *testing.T) {
+	cfg := shardBenchSmall()
+	base := RunShardBench(1, cfg)
+	if base.Events == 0 || base.Digest == 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	for _, lanes := range []int{2, 3, 4, 8} {
+		got := RunShardBench(lanes, cfg)
+		if got != base {
+			t.Fatalf("lanes=%d: %+v, want %+v", lanes, got, base)
+		}
+	}
+}
+
+// TestShardedKernelRace drives the parallel window loop with real
+// concurrency: GOMAXPROCS is forced above one so windows execute lanes on
+// separate goroutines, and the digest is checked against the sequential
+// single-lane run. Under -race this is the data-race probe for the whole
+// window/mailbox machinery (ci.sh runs it via `go test -race -run Sharded`).
+func TestShardedKernelRace(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	cfg := shardBenchSmall()
+	base := RunShardBench(1, cfg)
+	for _, lanes := range []int{4, 8} {
+		got := RunShardBench(lanes, cfg)
+		if got != base {
+			t.Fatalf("lanes=%d under concurrency: %+v, want %+v", lanes, got, base)
+		}
+	}
+}
+
+// TestShardedMailBelowHorizonPanics pins the conservative-window guard: a
+// cross-shard send that would land inside the current window means the
+// configured lookahead overstates the model's true minimum cross-shard
+// latency, and must fail loudly rather than silently mis-order.
+func TestShardedMailBelowHorizonPanics(t *testing.T) {
+	sh := NewShardedEngine(2, 100)
+	sh.SetParallel(true)
+	sh.Lane(0).At(10, func() {
+		// horizon = floor(10) + lookahead(100) = 110; 50 is inside the
+		// window and must be rejected.
+		sh.Lane(0).Mail(1, 50, 0, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mail below the horizon did not panic")
+		}
+	}()
+	sh.Run()
+}
+
+// TestShardedGuards pins the remaining constructor/mode guards.
+func TestShardedGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero lanes", func() { NewShardedEngine(0, 1) })
+	mustPanic("zero lookahead", func() { NewShardedEngine(2, 0) })
+	mustPanic("Mail on standalone engine", func() { NewEngine().Mail(0, 0, 0, func() {}) })
+	mustPanic("Mail to bad lane", func() {
+		sh := NewShardedEngine(2, 1)
+		sh.Lane(0).Mail(5, 0, 0, func() {})
+	})
+	mustPanic("SetParallel after scheduling", func() {
+		sh := NewShardedEngine(2, 1)
+		sh.Lane(0).At(1, func() {})
+		sh.SetParallel(true)
+	})
+	mustPanic("Step in parallel mode", func() {
+		sh := NewShardedEngine(2, 1)
+		sh.SetParallel(true)
+		sh.Step()
+	})
+	mustPanic("LookaheadWindow zero shards", func() { LookaheadWindow(1, 1, 0) })
+}
+
+// TestLookaheadWindow pins the derivation: component sum, the 1 ps floor,
+// and overflow saturation.
+func TestLookaheadWindow(t *testing.T) {
+	if w := LookaheadWindow(300, 700, 4); w != 1000 {
+		t.Fatalf("window = %d, want 1000", w)
+	}
+	if w := LookaheadWindow(0, 0, 1); w != 1 {
+		t.Fatalf("zero components: window = %d, want 1", w)
+	}
+	if w := LookaheadWindow(^Time(0), 5, 2); w != ^Time(0) {
+		t.Fatalf("overflow: window = %d, want saturation", w)
+	}
+}
+
+// FuzzLookaheadWindow fuzzes the window derivation and the admission
+// invariant together: for any (serdes, hop, shards), the window must be
+// strictly positive, and a model whose cross-shard sends use exactly the
+// minimum legal latency (the lookahead itself) must never trip the
+// horizon guard — i.e. the window never admits a cross-shard event
+// earlier than the horizon it was computed against.
+func FuzzLookaheadWindow(f *testing.F) {
+	f.Add(uint64(300), uint64(700), 4)
+	f.Add(uint64(0), uint64(0), 1)
+	f.Add(uint64(1)<<63, uint64(1)<<63, 2)
+	f.Add(uint64(12_800), uint64(10_000), 8)
+	f.Fuzz(func(t *testing.T, serdes, hop uint64, shards int) {
+		if shards <= 0 || shards > 64 {
+			t.Skip()
+		}
+		w := LookaheadWindow(serdes, hop, shards)
+		if w == 0 {
+			t.Fatalf("LookaheadWindow(%d, %d, %d) = 0", serdes, hop, shards)
+		}
+		if w < serdes && w != ^Time(0) {
+			t.Fatalf("LookaheadWindow(%d, %d, %d) = %d lost a component without saturating",
+				serdes, hop, shards, w)
+		}
+		if w > ^Time(0)-1<<20 {
+			return // near-saturated windows cannot schedule past the horizon
+		}
+
+		// Minimum-legal-latency model: every event mails the other lane at
+		// exactly now+w. If the horizon ever exceeded sender-time+w this
+		// would panic; if a lane ran past a pending delivery the ping-pong
+		// chain would break and the count would come up short.
+		sh := NewShardedEngine(2, w)
+		sh.SetParallel(true)
+		const hops = 16
+		var delivered int
+		var hop2 func(lane int, at Time, n int)
+		hop2 = func(lane int, at Time, n int) {
+			delivered++
+			if n >= hops {
+				return
+			}
+			sh.Lane(lane).Mail(1-lane, at+w, uint64(n), func() {
+				hop2(1-lane, at+w, n+1)
+			})
+		}
+		sh.Lane(0).At(1, func() { hop2(0, 1, 0) })
+		sh.Run()
+		if delivered != hops+1 {
+			t.Fatalf("w=%d: ping-pong delivered %d/%d events", w, delivered, hops+1)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+// shardbench.go is the synthetic sharded-kernel model used by the dlperf
+// kernel-par suite and the sharded-kernel tests: a population of
+// self-rescheduling actors partitioned into groups, each group owned by
+// one lane, with periodic cross-group effects riding the deterministic
+// mailbox. It is the parallel-mode counterpart of dlperf's single-engine
+// "kernel" scenario — heap churn dominates, callbacks are trivial — plus
+// per-group digests that make any ordering divergence observable.
+package sim
+
+// ShardBenchConfig parameterizes one sharded-kernel run.
+type ShardBenchConfig struct {
+	Groups     int    // state partitions (>= lanes; group g lives on lane g % lanes)
+	PerGroup   int    // self-rescheduling actors per group
+	Events     uint64 // total events to process across all groups (approx.)
+	MaxDelay   Time   // actor reschedule delays are 1..MaxDelay
+	Lookahead  Time   // conservative window; cross-group sends add at least this
+	CrossEvery uint64 // every Nth event per group emits a cross-group mail (0 = none)
+	Seed       uint64 // base seed for the per-group delay streams
+}
+
+// ShardBenchResult is the outcome of a run. Digest folds every group's
+// event stream (execution order included) into one value: two runs of the
+// same config at different shard counts must produce identical digests.
+type ShardBenchResult struct {
+	Digest  uint64
+	Events  uint64
+	SimSpan Time // furthest lane clock at completion
+}
+
+// shardBenchGroup is one lane-owned state partition.
+type shardBenchGroup struct {
+	rng       uint64
+	digest    uint64
+	scheduled uint64
+	budget    uint64
+	sent      uint64 // cross-group mail ordinal (tag uniqueness)
+}
+
+func (g *shardBenchGroup) mix(v uint64) {
+	d := g.digest ^ v
+	d *= 0x9e3779b97f4a7c15
+	d ^= d >> 29
+	g.digest = d
+}
+
+func (g *shardBenchGroup) next() uint64 {
+	g.rng = g.rng*6364136223846793005 + 1442695040888963407
+	return g.rng
+}
+
+// RunShardBench executes the model on a parallel-mode ShardedEngine with
+// the given lane count and returns the digest, event count and simulated
+// span. Every group's state is touched only by its owning lane; the only
+// cross-lane channel is Mail with delay >= Lookahead, so the result is
+// invariant to lanes by the conservative-window argument (shard.go).
+func RunShardBench(lanes int, cfg ShardBenchConfig) ShardBenchResult {
+	o := NewShardedEngine(lanes, cfg.Lookahead)
+	o.SetParallel(true)
+
+	groups := make([]*shardBenchGroup, cfg.Groups)
+	perGroup := cfg.Events / uint64(cfg.Groups)
+	for gi := range groups {
+		groups[gi] = &shardBenchGroup{
+			rng:    cfg.Seed + 0x9e3779b97f4a7c15*uint64(gi+1),
+			budget: perGroup,
+		}
+	}
+
+	var step []func(at Time)
+	step = make([]func(at Time), cfg.Groups)
+	for gi := range groups {
+		gi := gi
+		g := groups[gi]
+		lane := o.Lane(gi % lanes)
+		step[gi] = func(at Time) {
+			g.mix(at)
+			if g.scheduled >= g.budget {
+				return
+			}
+			g.scheduled++
+			delay := g.next()%cfg.MaxDelay + 1
+			next := at + delay
+			lane.At(next, func() { step[gi](next) })
+			if cfg.CrossEvery > 0 && g.scheduled%cfg.CrossEvery == 0 {
+				// Cross-group effect: mix a value into the neighbor group's
+				// digest, delivered no sooner than the lookahead allows.
+				// The tag (group, per-group ordinal) is unique per instant
+				// by construction, which pins the delivery order.
+				g.sent++
+				dst := (gi + 1) % cfg.Groups
+				val := g.next()
+				mailAt := at + cfg.Lookahead + g.next()%cfg.MaxDelay
+				tag := uint64(gi)<<32 | g.sent
+				lane.Mail(dst%lanes, mailAt, tag, func() {
+					groups[dst].mix(val ^ mailAt)
+				})
+			}
+		}
+	}
+	// Seed the initial actor population, spread across the first MaxDelay
+	// picoseconds like real traffic.
+	for gi := range groups {
+		g := groups[gi]
+		lane := o.Lane(gi % lanes)
+		for a := 0; a < cfg.PerGroup; a++ {
+			g.scheduled++
+			at := Time(a)%cfg.MaxDelay + 1
+			gi := gi
+			lane.At(at, func() { step[gi](at) })
+		}
+	}
+
+	o.Run()
+
+	var digest uint64
+	for gi, g := range groups {
+		digest ^= g.digest * (uint64(gi)*2 + 0x9e3779b97f4a7c15)
+	}
+	return ShardBenchResult{
+		Digest:  digest,
+		Events:  o.Processed(),
+		SimSpan: o.MaxLaneNow(),
+	}
+}

@@ -139,35 +139,83 @@ func (h *eventHeap) pop() event {
 // Engine is a deterministic single-threaded discrete-event simulator.
 // Events scheduled for the same instant run in the order they were
 // scheduled. The zero value is not usable; call NewEngine.
+//
+// An Engine may also be one lane of a ShardedEngine (see shard.go), in
+// which case owner is non-nil and the clock/seq/drive methods delegate so
+// that model code holding a lane handle behaves exactly as if it held the
+// whole engine. owner == nil — a standalone engine — stays on the original
+// code path, one predictable nil-check away from it.
 type Engine struct {
 	now       Time
 	seq       uint64
 	events    eventHeap
 	processed uint64
+
+	owner *ShardedEngine // non-nil when this engine is a shard lane
+	lane  int            // this lane's index within owner
+
+	// nowp and seqp are the engine's clock and sequence-counter bindings,
+	// resolved once at construction so the per-event hot path (Now, push,
+	// After) is branch-free: a standalone engine and a parallel-mode lane
+	// bind their own fields; a merged-mode lane binds the composite's
+	// (lane-local clocks are only advanced by the popping lane, so an
+	// idle merged lane would otherwise report a stale time — and the
+	// shared counter is what reproduces single-engine total order).
+	nowp *Time
+	seqp *uint64
 }
 
 // NewEngine returns an empty engine with the clock at time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.nowp = &e.now
+	e.seqp = &e.seq
+	return e
 }
 
-// Now returns the current simulated time.
-func (e *Engine) Now() Time { return e.now }
+// Now returns the current simulated time: the composite clock on a
+// merged-mode lane, the engine's own clock otherwise.
+func (e *Engine) Now() Time { return *e.nowp }
 
-// Processed returns the number of events executed so far.
-func (e *Engine) Processed() uint64 { return e.processed }
+// Processed returns the number of events executed so far (across all lanes
+// for a sharded engine's lane handle).
+func (e *Engine) Processed() uint64 {
+	if o := e.owner; o != nil {
+		return o.Processed()
+	}
+	return e.processed
+}
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events currently scheduled (across all
+// lanes plus undelivered cross-shard mail for a sharded engine's lane
+// handle).
+func (e *Engine) Pending() int {
+	if o := e.owner; o != nil {
+		return o.Pending()
+	}
+	return len(e.events)
+}
+
+// push assigns the next sequence number and enqueues the event. Merged-mode
+// lanes share the owner's global counter (via seqp) — that is what makes
+// the composite pop order identical to a single engine's; parallel-mode
+// lanes use their own (each lane is its own deterministic sub-simulation
+// between barriers).
+func (e *Engine) push(at Time, fn func()) {
+	*e.seqp++
+	e.events.push(event{at: at, seq: *e.seqp, fn: fn})
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it always indicates a timing-model bug.
+// it always indicates a timing-model bug. The sequence bump is open-coded
+// (not a push call) to stay within the inlining budget — this is the
+// per-event hot path.
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	if now := *e.nowp; t < now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, now))
 	}
-	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	*e.seqp++
+	e.events.push(event{at: t, seq: *e.seqp, fn: fn})
 }
 
 // After schedules fn to run d picoseconds from now. This is the alloc-free
@@ -176,13 +224,23 @@ func (e *Engine) At(t Time, fn func()) {
 // past-check of At is skipped and the event value lands directly in the
 // heap's backing array.
 func (e *Engine) After(d Time, fn func()) {
-	e.seq++
-	e.events.push(event{at: e.now + d, seq: e.seq, fn: fn})
+	*e.seqp++
+	e.events.push(event{at: *e.nowp + d, seq: *e.seqp, fn: fn})
 }
 
 // Step executes the single earliest pending event, advancing the clock to
-// its timestamp. It reports whether an event was executed.
+// its timestamp. It reports whether an event was executed. On a lane handle
+// it steps the composite engine.
 func (e *Engine) Step() bool {
+	if o := e.owner; o != nil {
+		return o.Step()
+	}
+	return e.stepLocal()
+}
+
+// stepLocal pops and executes this engine's own earliest event — the
+// standalone Step, and the per-lane inner loop of a parallel window.
+func (e *Engine) stepLocal() bool {
 	if len(e.events) == 0 {
 		return false
 	}
@@ -195,15 +253,23 @@ func (e *Engine) Step() bool {
 
 // Run executes events until none remain.
 func (e *Engine) Run() {
-	for e.Step() {
+	if o := e.owner; o != nil {
+		o.Run()
+		return
+	}
+	for e.stepLocal() {
 	}
 }
 
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // exactly t. Events scheduled beyond t remain pending.
 func (e *Engine) RunUntil(t Time) {
+	if o := e.owner; o != nil {
+		o.RunUntil(t)
+		return
+	}
 	for len(e.events) > 0 && e.events[0].at <= t {
-		e.Step()
+		e.stepLocal()
 	}
 	if t > e.now {
 		e.now = t
@@ -211,7 +277,21 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // RunFor executes events for d picoseconds of simulated time from now.
-func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.Now() + d) }
+
+// LaneIndex returns this engine's lane index within its ShardedEngine, or
+// 0 for a standalone engine.
+func (e *Engine) LaneIndex() int { return e.lane }
+
+// LaneNow returns this lane's local clock — in parallel mode the lane's
+// own frontier rather than the composite clock. Standalone engines and
+// merged-mode lanes report the same value as Now.
+func (e *Engine) LaneNow() Time {
+	if o := e.owner; o != nil && o.par {
+		return e.now
+	}
+	return e.Now()
+}
 
 // BusyLine models a resource that serves requests one at a time in FIFO
 // order: a DRAM data bus, a SerDes lane, the host memory channel during

@@ -23,12 +23,20 @@ import (
 
 // SimHooks carries the execution-policy extras a caller may layer onto a
 // simulation run. None of them changes the rendered report: the
-// collector is passive, sampling is passive, and profiling only fills
-// KernelResult.Profile.
+// collector is passive, sampling is passive, profiling only fills
+// KernelResult.Profile, and Shards selects an event-kernel execution
+// strategy whose deterministic-merge mode is byte-identity-preserving.
 type SimHooks struct {
 	Metrics      *metrics.Collector
 	SamplePeriod sim.Time
 	Profile      bool
+
+	// Shards > 1 runs the simulation on the sharded event kernel
+	// (nmp.Config.Shards). Like Jobs on the experiment side, this is
+	// execution policy and deliberately NOT part of the content-addressed
+	// Spec: the report bytes are identical for every value, which the
+	// shard-differential tests pin.
+	Shards int
 }
 
 // SimRun bundles one completed simulation.
@@ -55,6 +63,7 @@ func (s Spec) RunSim(h SimHooks) (*SimRun, error) {
 		return nil, err
 	}
 	cfg.Metrics = h.Metrics
+	cfg.Shards = h.Shards
 	sys, err := nmp.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -181,11 +190,19 @@ type ExpResult struct {
 	Tables []*stats.Table `json:"tables"`
 }
 
+// ExpHooks is SimHooks' experiment-side counterpart: the execution-policy
+// knobs layered onto an exp-kind run. Neither field changes a rendered
+// byte — Jobs picks the grid pool width, Shards the event kernel.
+type ExpHooks struct {
+	Jobs   int // worker-pool width per experiment grid (0 = GOMAXPROCS)
+	Shards int // sharded event kernel lanes per system (0/1 = single queue)
+}
+
 // RunExp executes an exp-kind spec's targets in registry order. Progress
 // is forwarded per experiment (done/total restart for each target).
 // Cancellation aborts between and within experiment grids with the
 // context's error.
-func (s Spec) RunExp(ctx context.Context, jobs int, progress func(done, total int)) ([]ExpResult, error) {
+func (s Spec) RunExp(ctx context.Context, h ExpHooks, progress func(done, total int)) ([]ExpResult, error) {
 	n, err := s.Normalized()
 	if err != nil {
 		return nil, err
@@ -194,10 +211,11 @@ func (s Spec) RunExp(ctx context.Context, jobs int, progress func(done, total in
 	if err != nil {
 		return nil, err
 	}
-	o, err := n.ExpOptions(ctx, jobs, progress)
+	o, err := n.ExpOptions(ctx, h.Jobs, progress)
 	if err != nil {
 		return nil, err
 	}
+	o.Shards = h.Shards
 	results := make([]ExpResult, 0, len(targets))
 	for _, e := range targets {
 		if ctx != nil {

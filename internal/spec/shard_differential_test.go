@@ -1,0 +1,95 @@
+// shard_differential_test.go is the differential-testing harness for the
+// sharded event kernel: every captured workload runs at several shard
+// counts and the rendered report — the same bytes dlsim prints and
+// dlserve caches — must be identical to the single-queue run. This is
+// the repository-level statement of the deterministic-merge guarantee;
+// the kernel-level property tests live in internal/sim.
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// shardDiffSpecs is the workload table: one entry per distinct code path
+// the kernel drives — intra-group traffic, broadcast trees, every
+// mechanism's interconnect, a multi-group topology, and the fault layer
+// (DLL retries, reroutes and host fallback all ride the event engine).
+func shardDiffSpecs() []Spec {
+	return []Spec{
+		{Kind: KindSim, Workload: "p2p", DIMMs: 4, Channels: 2},
+		{Kind: KindSim, Workload: "sync", DIMMs: 8, Channels: 4},
+		{Kind: KindSim, Workload: "bfs", Scale: 10, DIMMs: 8, Channels: 4},
+		{Kind: KindSim, Workload: "pr", Scale: 10, Iters: 2, Broadcast: true, DIMMs: 8, Channels: 4},
+		{Kind: KindSim, Workload: "p2p", DIMMs: 8, Channels: 4, Mech: "mcn"},
+		{Kind: KindSim, Workload: "p2p", DIMMs: 8, Channels: 4, Mech: "aim"},
+		{Kind: KindSim, Workload: "p2p", DIMMs: 16, Channels: 8, Topology: "ring"},
+		{Kind: KindSim, Workload: "p2p", DIMMs: 8, Channels: 4,
+			Fault: "ber=1e-6,down=0-1@10us,stall=2-3@5us+20us,degrade=1-2@0*0.5"},
+	}
+}
+
+// report runs the spec at the given shard count and returns the rendered
+// report and structured JSON bodies.
+func report(t *testing.T, sp Spec, shards int) ([]byte, []byte) {
+	t.Helper()
+	run, err := sp.RunSim(SimHooks{Shards: shards})
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	var text bytes.Buffer
+	run.Report(&text)
+	js, err := run.JSON()
+	if err != nil {
+		t.Fatalf("shards=%d: JSON: %v", shards, err)
+	}
+	return text.Bytes(), js
+}
+
+// TestShardedReportByteIdentity is the harness: for every table entry,
+// the report at -shards 1/2/4/8 must be byte-identical to the plain
+// single-engine run (shards=0). -short keeps two representative specs
+// and two shard counts.
+func TestShardedReportByteIdentity(t *testing.T) {
+	specs := shardDiffSpecs()
+	counts := []int{1, 2, 4, 8}
+	if testing.Short() {
+		specs = specs[:2]
+		counts = []int{1, 4}
+	}
+	for _, sp := range specs {
+		sp := sp
+		name := sp.Workload + "-" + sp.Mech
+		if sp.Fault != "" {
+			name += "-fault"
+		}
+		t.Run(name, func(t *testing.T) {
+			wantText, wantJSON := report(t, sp, 0)
+			if len(wantText) == 0 {
+				t.Fatal("empty baseline report")
+			}
+			for _, n := range counts {
+				gotText, gotJSON := report(t, sp, n)
+				if !bytes.Equal(gotText, wantText) {
+					t.Fatalf("shards=%d: report diverges from single-queue run\n--- shards=0\n%s--- shards=%d\n%s",
+						n, wantText, n, gotText)
+				}
+				if !bytes.Equal(gotJSON, wantJSON) {
+					t.Fatalf("shards=%d: JSON body diverges from single-queue run", n)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedOverprovisionedClamped pins the lane clamp: asking for more
+// shards than DIMMs must run (clamped to the DIMM count), not panic, and
+// still match the baseline bytes.
+func TestShardedOverprovisionedClamped(t *testing.T) {
+	sp := Spec{Kind: KindSim, Workload: "p2p", DIMMs: 4, Channels: 2}
+	wantText, _ := report(t, sp, 0)
+	gotText, _ := report(t, sp, 64)
+	if !bytes.Equal(gotText, wantText) {
+		t.Fatal("shards=64 on a 4-DIMM system diverges from the single-queue run")
+	}
+}
