@@ -65,10 +65,16 @@ if [ "${1:-}" != "quick" ]; then
 	echo "== histogram benchmark smoke"
 	go test -bench BenchmarkHistogram -benchtime 100x -run '^$' ./internal/metrics/ >/dev/null
 
+	echo "== go test -race ./internal/serve/... (service + cluster layers under the race detector)"
+	go test -race ./internal/serve/...
+
 	echo "== dlserve end-to-end smoke (HTTP result == CLI stdout, cache hit, graceful drain)"
 	go build -o "$tmp/dlserve" ./cmd/dlserve
 	go build -o "$tmp/dlsmoke" ./cmd/dlsmoke
 	"$tmp/dlsmoke" -serve "$tmp/dlserve" -sim "$tmp/dlsim" >/dev/null
+
+	echo "== dlserve cluster chaos smoke (3 nodes, SIGKILL mid-job, requeue + byte-identity)"
+	"$tmp/dlsmoke" -serve "$tmp/dlserve" -sim "$tmp/dlsim" -cluster 3 -chaos >/dev/null
 fi
 
 echo "ci: OK"

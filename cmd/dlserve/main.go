@@ -1,15 +1,25 @@
 // dlserve runs the simulator as a service: an HTTP/JSON API over the
 // canonical job spec (internal/spec), with a bounded job queue, a
-// worker pool, a content-addressed result cache, and /healthz +
-// /metrics endpoints. See internal/serve for the API.
+// worker pool, a content-addressed result cache, an optional disk-spill
+// result store, and /healthz + /metrics endpoints. See internal/serve
+// for the API.
 //
 // Examples:
 //
 //	dlserve -addr :8077
 //	dlserve -addr 127.0.0.1:0 -workers 4 -queue 32 -sidedir /tmp/dlserve
+//	dlserve -addr :8077 -store /var/lib/dlserve/results
 //
 //	curl -s -X POST localhost:8077/v1/jobs \
 //	     -d '{"kind":"sim","workload":"p2p","dimms":4,"channels":2}'
+//
+// With -peers, the node joins a cluster: submissions are routed to the
+// spec's owner on a consistent-hash ring, content-addressed reads
+// (/v1/results/{hash}) read through to peers, dead peers are marked
+// suspect, routed around and probed back to health. Every node must be
+// started with the same -peers set:
+//
+//	dlserve -addr :8077 -store s1 -peers http://h1:8077,http://h2:8077,http://h3:8077
 //
 // On SIGTERM/SIGINT the server drains: submissions are rejected with
 // 503 while queued and running jobs finish and their results stay
@@ -27,10 +37,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/serve/cluster"
+	"repro/internal/serve/store"
 )
 
 func main() {
@@ -44,6 +57,12 @@ func main() {
 		jobTimeout = flag.Duration("jobtimeout", 0, "per-job wall-clock bound (0 = none)")
 		sideDir    = flag.String("sidedir", "", "directory for per-job side files (spec, trace, status)")
 		drainGrace = flag.Duration("drain", 2*time.Minute, "max time to wait for in-flight jobs on shutdown before canceling them")
+		storeDir   = flag.String("store", "", "disk-spill result store directory (content-addressed, survives restarts)")
+		storeMax   = flag.Int("storemax", 4096, "disk store bound (entries, evicted oldest-first)")
+		peers      = flag.String("peers", "", "comma-separated cluster node base URLs, this node included (enables cluster routing)")
+		selfURL    = flag.String("self", "", "this node's base URL as peers address it (default http://<listen addr>)")
+		vnodes     = flag.Int("vnodes", 0, "consistent-hash virtual nodes per ring member (0 = default)")
+		probe      = flag.Duration("probe", 2*time.Second, "suspect-peer health probe interval")
 	)
 	flag.Parse()
 
@@ -54,18 +73,54 @@ func main() {
 		}
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, *storeMax)
+		if err != nil {
+			logger.Fatalf("dlserve: store: %v", err)
+		}
+		logger.Printf("dlserve: disk store %s (%d entries)", st.Dir(), st.Len())
+	}
+
 	srv := serve.NewServer(serve.Config{
 		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
 		ExpJobs: *expJobs, Shards: *shards, JobTimeout: *jobTimeout, SideDir: *sideDir,
-		Logf: logger.Printf,
+		Store: st,
+		Logf:  logger.Printf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatalf("dlserve: listen: %v", err)
 	}
+
+	handler := http.Handler(srv)
+	var rt *cluster.Router
+	if *peers != "" {
+		self := *selfURL
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		var nodes []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				nodes = append(nodes, p)
+			}
+		}
+		rt, err = cluster.NewRouter(cluster.RouterConfig{
+			Self: self, Nodes: nodes, VNodes: *vnodes,
+			Local: srv, ProbeInterval: *probe, Logf: logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("dlserve: cluster: %v", err)
+		}
+		handler = rt
+		logger.Printf("dlserve: cluster node %s in ring of %d", self, len(nodes))
+	}
+
 	hs := &http.Server{
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -82,6 +137,9 @@ func main() {
 	select {
 	case sig := <-sigCh:
 		logger.Printf("dlserve: %s: draining (in-flight jobs finish, submissions get 503)", sig)
+		if rt != nil {
+			rt.Close() // stop probing peers; local serving continues through drain
+		}
 		// Drain jobs first, while the listener still serves status and
 		// result reads — clients blocked on ?wait=1 get their bodies.
 		dctx, dcancel := context.WithTimeout(context.Background(), *drainGrace)

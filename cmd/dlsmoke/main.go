@@ -1,6 +1,6 @@
 // dlsmoke is the end-to-end smoke for dlserve, run by ci.sh. It spawns
-// a dlserve on an ephemeral port and proves the service contract with
-// real processes:
+// real dlserve processes on ephemeral ports and proves the service
+// contract:
 //
 //  1. an HTTP job's result body is byte-identical to the dlsim CLI's
 //     stdout for the same spec;
@@ -10,7 +10,16 @@
 //     is retrievable through the drain window, new submissions are
 //     rejected with 503, and the server exits 0.
 //
-// Usage: dlsmoke -serve ./dlserve -sim ./dlsim
+// With -cluster N it instead stands up an N-node cluster (each node a
+// separate dlserve process with a disk store, all sharing one ring) and
+// proves the cluster contract: routed submission, content-addressed
+// peer read-through, byte-identity with the CLI. With -chaos it
+// additionally SIGKILLs the node hosting a job mid-run and verifies the
+// dispatcher requeues onto a peer and still returns bytes identical to
+// the single-node CLI output — the determinism contract makes the kill
+// invisible in the answer.
+//
+// Usage: dlsmoke -serve ./dlserve -sim ./dlsim [-cluster 3 [-chaos]]
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -28,6 +38,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/serve/client"
+	"repro/internal/serve/cluster"
 	"repro/internal/spec"
 )
 
@@ -35,43 +46,284 @@ func main() {
 	var (
 		serveBin = flag.String("serve", "./dlserve", "path to the dlserve binary")
 		simBin   = flag.String("sim", "./dlsim", "path to the dlsim binary")
+		clusterN = flag.Int("cluster", 0, "run the cluster smoke with N nodes instead of the single-node smoke")
+		chaos    = flag.Bool("chaos", false, "with -cluster: SIGKILL the node hosting a job mid-run and require a byte-identical answer from a peer")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	cmd := exec.Command(*serveBin, "-addr", "127.0.0.1:0", "-workers", "1")
+	if *clusterN > 0 {
+		clusterSmoke(ctx, *serveBin, *simBin, *clusterN, *chaos)
+	} else {
+		singleSmoke(ctx, *serveBin, *simBin)
+	}
+	fmt.Println("dlsmoke: PASS")
+}
+
+// node is one spawned dlserve process.
+type node struct {
+	url string
+	cmd *exec.Cmd
+}
+
+// startNode spawns a dlserve, waits for its listening line and keeps
+// draining its stdout. extra appends process-specific flags.
+func startNode(serveBin string, extra ...string) (*node, error) {
+	args := append([]string{}, extra...)
+	cmd := exec.Command(serveBin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		fatal(fmt.Errorf("starting %s: %w", *serveBin, err))
+		return nil, fmt.Errorf("starting %s: %w", serveBin, err)
 	}
-	defer func() { _ = cmd.Process.Kill() }()
-
-	// The first stdout line announces the ephemeral address.
 	sc := bufio.NewScanner(stdout)
 	if !sc.Scan() {
-		fatal(fmt.Errorf("no listening line from dlserve (err %v)", sc.Err()))
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("no listening line from dlserve (err %v)", sc.Err())
 	}
 	line := sc.Text()
 	const prefix = "dlserve: listening on "
 	if !strings.HasPrefix(line, prefix) {
-		fatal(fmt.Errorf("unexpected first line %q", line))
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("unexpected first line %q", line)
 	}
-	base := strings.TrimPrefix(line, prefix)
-	go func() { // drain any further stdout
+	go func() {
 		for sc.Scan() {
 		}
 	}()
-	c := client.New(base)
+	return &node{url: strings.TrimPrefix(line, prefix), cmd: cmd}, nil
+}
+
+// reserveAddrs grabs n distinct ephemeral ports and releases them so
+// the nodes can be told their own and each other's addresses up front —
+// the ring membership must be identical on every node before any of
+// them binds.
+func reserveAddrs(n int) ([]string, error) {
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+	}()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// --- cluster smoke ---
+
+func clusterSmoke(ctx context.Context, serveBin, simBin string, n int, chaos bool) {
+	addrs, err := reserveAddrs(n)
+	if err != nil {
+		fatal(fmt.Errorf("reserve ports: %w", err))
+	}
+	urls := make([]string, n)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	storeRoot, err := os.MkdirTemp("", "dlsmoke-store-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(storeRoot)
+
+	nodes := make([]*node, n)
+	for i := range nodes {
+		nodes[i], err = startNode(serveBin,
+			"-addr", addrs[i],
+			"-workers", "1",
+			"-self", urls[i],
+			"-peers", strings.Join(urls, ","),
+			"-store", fmt.Sprintf("%s/n%d", storeRoot, i),
+			"-probe", "250ms",
+		)
+		if err != nil {
+			fatal(err)
+		}
+		defer func(nd *node) { _ = nd.cmd.Process.Kill() }(nodes[i])
+	}
+	fmt.Printf("dlsmoke: %d-node cluster up (%s)\n", n, strings.Join(urls, ", "))
+
+	d, err := cluster.NewDispatcher(cluster.DispatcherConfig{
+		Nodes:        urls,
+		Client:       client.Options{Retries: 3, BackoffBase: 20 * time.Millisecond, RequestTimeout: 10 * time.Second},
+		HedgeAfter:   200 * time.Millisecond,
+		PollInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("dispatcher: %w", err))
+	}
+
+	// --- 1. Cluster answer is byte-identical to the CLI. ---
+	sp := spec.Spec{Kind: spec.KindSim, Workload: "p2p", DIMMs: 4, Channels: 2}
+	cli, err := exec.Command(simBin, "-workload", "p2p", "-dimms", "4", "-channels", "2").Output()
+	if err != nil {
+		fatal(fmt.Errorf("dlsim: %w", err))
+	}
+	out, err := d.Run(ctx, sp)
+	if err != nil {
+		fatal(fmt.Errorf("cluster run: %w", err))
+	}
+	if !bytes.Equal(out.Body, cli) {
+		fatal(fmt.Errorf("cluster result differs from dlsim stdout:\n--- cluster\n%s--- cli\n%s", out.Body, cli))
+	}
+	owner := d.Ring().Owner(out.Hash)
+	if out.Node != owner {
+		fatal(fmt.Errorf("job served by %s, ring owner is %s", out.Node, owner))
+	}
+	fmt.Printf("dlsmoke: cluster result byte-identical to dlsim stdout (owner %s)\n", owner)
+
+	// --- 2. Content-addressed read-through from a non-owner node. ---
+	var other string
+	for _, u := range urls {
+		if u != owner {
+			other = u
+			break
+		}
+	}
+	oc := client.New(other)
+	status, body, _, err := oc.Do(ctx, http.MethodGet, "/v1/results/"+out.Hash, nil, nil)
+	if err != nil || status != http.StatusOK {
+		fatal(fmt.Errorf("peer read-through: status=%d err=%v", status, err))
+	}
+	if !bytes.Equal(body, cli) {
+		fatal(fmt.Errorf("read-through body differs from CLI output"))
+	}
+	fmt.Println("dlsmoke: peer read-through returned identical bytes")
+
+	// --- 3. Every node agrees on the membership. ---
+	for _, u := range urls {
+		c := client.New(u)
+		st, ib, _, err := c.Do(ctx, http.MethodGet, "/cluster", nil, nil)
+		if err != nil || st != http.StatusOK || !bytes.Contains(ib, []byte(owner)) {
+			fatal(fmt.Errorf("/cluster on %s: status=%d err=%v", u, st, err))
+		}
+	}
+	fmt.Println("dlsmoke: /cluster membership consistent on every node")
+
+	if chaos {
+		chaosKill(ctx, simBin, d, nodes, urls)
+	}
+}
+
+// chaosKill submits a deliberately slow job, SIGKILLs the node running
+// it mid-flight, and requires the dispatcher to requeue onto a peer and
+// return bytes identical to the CLI — the cluster's whole fault-
+// tolerance story in one assertion.
+func chaosKill(ctx context.Context, simBin string, d *cluster.Dispatcher, nodes []*node, urls []string) {
+	// The scale keeps the job in flight around a second — long enough to
+	// land the kill while it runs (see the single-node drain smoke).
+	slow := spec.Spec{Kind: spec.KindSim, Workload: "bfs", Scale: 17}
+	hash, err := d.Hash(slow)
+	if err != nil {
+		fatal(err)
+	}
+	victimURL := d.Ring().Owner(hash)
+	var victim *node
+	for _, nd := range nodes {
+		if nd.url == victimURL {
+			victim = nd
+			break
+		}
+	}
+	if victim == nil {
+		fatal(fmt.Errorf("owner %s not among spawned nodes", victimURL))
+	}
+
+	type res struct {
+		out *cluster.Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		out, err := d.Run(ctx, slow)
+		ch <- res{out, err}
+	}()
+
+	// Kill the owner the moment it reports the job running.
+	vc := client.New(victimURL)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h, err := vc.Health(ctx)
+		if err == nil && h.Running > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("job never started on owner %s", victimURL))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := victim.cmd.Process.Kill(); err != nil {
+		fatal(fmt.Errorf("SIGKILL owner: %w", err))
+	}
+	_ = victim.cmd.Wait()
+	fmt.Printf("dlsmoke: SIGKILLed owner %s mid-job\n", victimURL)
+
+	var r res
+	select {
+	case r = <-ch:
+	case <-time.After(2 * time.Minute):
+		fatal(fmt.Errorf("dispatcher never returned after node kill"))
+	}
+	if r.err != nil {
+		fatal(fmt.Errorf("cluster run after kill: %w", r.err))
+	}
+	if r.out.Requeues < 1 {
+		fatal(fmt.Errorf("job was not requeued (requeues=%d, served by %s)", r.out.Requeues, r.out.Node))
+	}
+	if r.out.Node == victimURL {
+		fatal(fmt.Errorf("result credited to the killed node"))
+	}
+	cli, err := exec.Command(simBin, "-workload", "bfs", "-scale", "17").Output()
+	if err != nil {
+		fatal(fmt.Errorf("dlsim (bfs scale 17): %w", err))
+	}
+	if !bytes.Equal(r.out.Body, cli) {
+		fatal(fmt.Errorf("post-kill result differs from single-node CLI output"))
+	}
+	fmt.Printf("dlsmoke: requeued on %s after kill, %d requeue(s), bytes identical to CLI\n", r.out.Node, r.out.Requeues)
+
+	// The survivors noticed: the dead node is suspect somewhere.
+	for _, u := range urls {
+		if u == victimURL {
+			continue
+		}
+		c := client.New(u)
+		if st, ib, _, err := c.Do(ctx, http.MethodGet, "/cluster", nil, nil); err == nil && st == http.StatusOK &&
+			bytes.Contains(ib, []byte(`"suspects"`)) {
+			fmt.Println("dlsmoke: survivors marked the killed node suspect")
+			return
+		}
+	}
+	fatal(fmt.Errorf("no survivor marked the killed node suspect"))
+}
+
+// --- single-node smoke (the original contract) ---
+
+func singleSmoke(ctx context.Context, serveBin, simBin string) {
+	nd, err := startNode(serveBin, "-addr", "127.0.0.1:0", "-workers", "1")
+	if err != nil {
+		fatal(err)
+	}
+	cmd := nd.cmd
+	defer func() { _ = cmd.Process.Kill() }()
+	c := client.New(nd.url)
 
 	// --- 1. HTTP result vs CLI stdout, byte for byte. ---
 	sp := spec.Spec{Kind: spec.KindSim, Workload: "p2p", DIMMs: 4, Channels: 2}
-	cli, err := exec.Command(*simBin, "-workload", "p2p", "-dimms", "4", "-channels", "2").Output()
+	cli, err := exec.Command(simBin, "-workload", "p2p", "-dimms", "4", "-channels", "2").Output()
 	if err != nil {
 		fatal(fmt.Errorf("dlsim: %w", err))
 	}
@@ -177,7 +429,7 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("result during drain: %w", err))
 	}
-	slowCLI, err := exec.Command(*simBin, "-workload", "bfs", "-scale", "17").Output()
+	slowCLI, err := exec.Command(simBin, "-workload", "bfs", "-scale", "17").Output()
 	if err != nil {
 		fatal(fmt.Errorf("dlsim (bfs scale 17): %w", err))
 	}
@@ -189,7 +441,6 @@ func main() {
 		fatal(fmt.Errorf("dlserve exited non-zero after drain: %w", err))
 	}
 	fmt.Println("dlsmoke: SIGTERM drained gracefully (503 intake, result intact, exit 0)")
-	fmt.Println("dlsmoke: PASS")
 }
 
 func fatal(err error) {

@@ -1,6 +1,16 @@
-// Package client is a small Go client for the dlserve HTTP API, used by
-// the ci.sh end-to-end smoke (cmd/dlsmoke) and by any Go program that
-// wants to submit simulation jobs to a running dlserve.
+// Package client is the hardened Go client for the dlserve HTTP API,
+// used by cmd/dlsmoke, by the cluster dispatcher, and by any Go program
+// that submits simulation jobs to a running dlserve.
+//
+// Every request is bounded: a per-attempt timeout (except deliberate
+// long-polls, which are bounded by the caller's context), a bounded
+// retry budget for transport-level failures with jittered exponential
+// backoff, and a context threaded through every call. HTTP error
+// statuses (4xx/5xx) are surfaced immediately and never retried here —
+// they are protocol answers (429 backpressure, 503 drain, 410 canceled),
+// and retry policy for them belongs to the caller. The retry budget's
+// consumption is observable via Counters, which cluster nodes export as
+// Prometheus series.
 package client
 
 import (
@@ -9,24 +19,135 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/serve"
 	"repro/internal/spec"
 )
 
+// Options tunes a Client's robustness envelope. Zero values select the
+// documented defaults.
+type Options struct {
+	// RequestTimeout bounds each individual attempt of a non-waiting
+	// request (default 15s; negative disables). Long-poll requests
+	// (Result with wait) are exempt — they park on the server by design
+	// and are bounded only by the call's context.
+	RequestTimeout time.Duration
+	// Retries is the total attempt budget per request for
+	// transport-level failures (default 3; minimum 1). HTTP responses,
+	// whatever their status, consume no retries.
+	Retries int
+	// BackoffBase is the delay before the first retry (default 50ms).
+	// Each further retry doubles it, up to BackoffMax, and every delay
+	// is jittered uniformly over [d/2, d) so synchronized clients desync.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth (default 2s).
+	BackoffMax time.Duration
+	// HTTPClient overrides the transport (nil = a fresh http.Client).
+	HTTPClient *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 15 * time.Second
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	return o
+}
+
 // Client talks to one dlserve instance.
 type Client struct {
 	base string
-	hc   *http.Client
+	opts Options
+
+	mu   sync.Mutex
+	ctrs map[string]uint64
+	rng  *rand.Rand
+
+	// sleep parks between attempts; tests substitute it to record the
+	// backoff schedule without waiting it out.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // New returns a client for the given base URL (e.g.
-// "http://127.0.0.1:8077"). A trailing slash is tolerated.
+// "http://127.0.0.1:8077") with default Options. A trailing slash is
+// tolerated.
 func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return NewWithOptions(base, Options{})
+}
+
+// NewWithOptions returns a client with an explicit robustness envelope.
+func NewWithOptions(base string, o Options) *Client {
+	// Counters are pre-registered at zero so exported series exist before
+	// the first retry is ever spent.
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		opts: o.withDefaults(),
+		ctrs: map[string]uint64{"request.retries": 0, "request.errors": 0, "retry.exhausted": 0},
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+}
+
+// Base returns the base URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// Counters snapshots the client's robustness counters: retries spent
+// ("request.retries"), budgets exhausted ("retry.exhausted"), and
+// transport errors seen ("request.errors").
+func (c *Client) Counters() map[string]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]uint64, len(c.ctrs))
+	for k, v := range c.ctrs {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *Client) count(name string) {
+	c.mu.Lock()
+	c.ctrs[name]++
+	c.mu.Unlock()
+}
+
+// backoff computes the jittered delay before retry number n (0-based).
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 0; i < n && d < c.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d/2) + 1))
+	c.mu.Unlock()
+	return d/2 + j // uniform over [d/2, d]
 }
 
 // apiError is a non-2xx response, carrying the status code for callers
@@ -49,25 +170,82 @@ func StatusCode(err error) int {
 	return 0
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// roundTrip performs one logical request with the retry budget: each
+// transport-level failure consumes an attempt and backs off before the
+// next; any HTTP response — success or error status — returns
+// immediately. bounded applies the per-attempt RequestTimeout; long
+// polls pass false and rely on ctx alone.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, bounded bool) (int, []byte, http.Header, error) {
+	return c.roundTripHeaders(ctx, method, path, body, nil, bounded)
+}
+
+func (c *Client) roundTripHeaders(ctx context.Context, method, path string, body []byte, hdr http.Header, bounded bool) (int, []byte, http.Header, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.count("request.retries")
+			if err := c.sleep(ctx, c.backoff(attempt-1)); err != nil {
+				return 0, nil, nil, err
+			}
+		}
+		status, b, h, err := c.attempt(ctx, method, path, body, hdr, bounded)
+		if err == nil {
+			return status, b, h, nil
+		}
+		lastErr = err
+		c.count("request.errors")
+		if ctx.Err() != nil {
+			return 0, nil, nil, ctx.Err()
+		}
+	}
+	c.count("retry.exhausted")
+	return 0, nil, nil, fmt.Errorf("dlserve: %s %s: retry budget (%d) exhausted: %w",
+		method, path, c.opts.Retries, lastErr)
+}
+
+// attempt is one HTTP exchange, fully reading the response body so the
+// per-attempt context can be released before returning.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr http.Header, bounded bool) (int, []byte, http.Header, error) {
+	actx := ctx
+	if bounded && c.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return 0, nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.hc.Do(req)
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
-		return err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, b, resp.Header, nil
+}
+
+// do runs a bounded JSON request and decodes a 2xx body into out.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	status, b, _, err := c.roundTrip(ctx, method, path, body, true)
+	if err != nil {
 		return err
 	}
-	if resp.StatusCode/100 != 2 {
-		return &apiError{Code: resp.StatusCode, Body: string(b)}
+	if status/100 != 2 {
+		return &apiError{Code: status, Body: string(b)}
 	}
 	if out != nil {
 		return json.Unmarshal(b, out)
@@ -75,16 +253,50 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	return nil
 }
 
+// Do performs a raw API request under the client's full robustness
+// envelope (per-attempt timeout, bounded retries, backoff) and returns
+// the HTTP status, body and headers verbatim — no status-code
+// interpretation. hdr (optional, may be nil) adds request headers; it is
+// the relay primitive the cluster router forwards through, carrying the
+// routing loop-guard headers.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte, hdr http.Header) (int, []byte, http.Header, error) {
+	return c.roundTripHeaders(ctx, method, path, body, hdr, true)
+}
+
 // Submit posts a job spec. The returned status may already be terminal
 // (cache hit) or belong to an identical in-flight job (deduplicated).
+// Submission is idempotent under the determinism contract — the spec's
+// content address names its result — so a retried submit is always safe.
 func (c *Client) Submit(ctx context.Context, sp spec.Spec) (serve.JobStatus, error) {
+	st, _, err := c.SubmitRouted(ctx, sp)
+	return st, err
+}
+
+// SubmitRouted posts a job spec and additionally reports which cluster
+// node the submission was routed to (the X-DL-Routed-To response header;
+// empty when the receiving node hosted the job itself). Job ids are
+// node-local, so a caller polling a routed job must poll that node.
+func (c *Client) SubmitRouted(ctx context.Context, sp spec.Spec) (serve.JobStatus, string, error) {
 	b, err := json.Marshal(sp)
 	if err != nil {
-		return serve.JobStatus{}, err
+		return serve.JobStatus{}, "", err
+	}
+	status, rb, hdr, err := c.roundTrip(ctx, http.MethodPost, "/v1/jobs", b, true)
+	if err != nil {
+		return serve.JobStatus{}, "", err
+	}
+	routed := ""
+	if hdr != nil {
+		routed = hdr.Get("X-DL-Routed-To")
+	}
+	if status/100 != 2 {
+		return serve.JobStatus{}, routed, &apiError{Code: status, Body: string(rb)}
 	}
 	var st serve.JobStatus
-	err = c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(b), &st)
-	return st, err
+	if err := json.Unmarshal(rb, &st); err != nil {
+		return serve.JobStatus{}, routed, err
+	}
+	return st, routed, nil
 }
 
 // Status fetches a job's current state.
@@ -122,7 +334,8 @@ func terminal(s serve.JobState) bool {
 
 // Result fetches a finished job's rendered text body. With wait set, the
 // server blocks the request until the job is terminal — robust against
-// the server draining right after the job finishes.
+// the server draining right after the job finishes — and the per-attempt
+// timeout is suspended (the caller's ctx is the only bound).
 func (c *Client) Result(ctx context.Context, id string, wait bool) ([]byte, error) {
 	return c.resultBody(ctx, id, "", wait)
 }
@@ -142,21 +355,26 @@ func (c *Client) resultBody(ctx context.Context, id, format string, wait bool) (
 	if wait {
 		path += sep + "wait=1"
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	status, b, _, err := c.roundTrip(ctx, http.MethodGet, path, nil, !wait)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	if status != http.StatusOK {
+		return nil, &apiError{Code: status, Body: string(b)}
+	}
+	return b, nil
+}
+
+// ResultByHash fetches a result by its content address from the node's
+// hot cache or disk store (404 when the node doesn't hold it). This is
+// the location-independent read the cluster layer routes and hedges.
+func (c *Client) ResultByHash(ctx context.Context, hash string) ([]byte, error) {
+	status, b, _, err := c.roundTrip(ctx, http.MethodGet, "/v1/results/"+hash, nil, true)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, &apiError{Code: resp.StatusCode, Body: string(b)}
+	if status != http.StatusOK {
+		return nil, &apiError{Code: status, Body: string(b)}
 	}
 	return b, nil
 }
@@ -177,21 +395,73 @@ func (c *Client) Health(ctx context.Context) (serve.Health, error) {
 
 // Metrics fetches the raw Prometheus exposition.
 func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	status, b, _, err := c.roundTrip(ctx, http.MethodGet, "/metrics", nil, true)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, &apiError{Code: resp.StatusCode, Body: string(b)}
+	if status != http.StatusOK {
+		return nil, &apiError{Code: status, Body: string(b)}
 	}
 	return b, nil
+}
+
+// Hedged races primary against a delayed secondary request: if primary
+// has not answered within after, secondary fires, and the first success
+// wins (the loser's context is canceled). Under the determinism
+// contract both answers carry identical bytes, so taking the first is
+// safe — hedging trades a little duplicate work for tail latency, which
+// is why it is reserved for reads. Returns the winning body and whether
+// the hedge (secondary) supplied it.
+func Hedged(ctx context.Context, after time.Duration, primary, secondary func(context.Context) ([]byte, error)) ([]byte, bool, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type answer struct {
+		body   []byte
+		hedged bool
+		err    error
+	}
+	ch := make(chan answer, 2)
+	launch := func(fn func(context.Context) ([]byte, error), hedged bool) {
+		go func() {
+			b, err := fn(hctx)
+			ch <- answer{body: b, hedged: hedged, err: err}
+		}()
+	}
+	launch(primary, false)
+
+	timer := time.NewTimer(after)
+	defer timer.Stop()
+	outstanding, hedgeLaunched := 1, false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeLaunched {
+				launch(secondary, true)
+				hedgeLaunched = true
+				outstanding++
+			}
+		case a := <-ch:
+			outstanding--
+			if a.err == nil {
+				return a.body, a.hedged, nil
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if !hedgeLaunched {
+				// Primary failed outright before the hedge timer: fire the
+				// secondary immediately rather than waiting out the delay.
+				launch(secondary, true)
+				hedgeLaunched = true
+				outstanding++
+			}
+			if outstanding == 0 {
+				return nil, false, firstErr
+			}
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
 }

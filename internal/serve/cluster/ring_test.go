@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustRing(t *testing.T, nodes []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	return r
+}
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a := mustRing(t, []string{"http://n1", "http://n2", "http://n3"}, 0)
+	b := mustRing(t, []string{"http://n3", "http://n1", "http://n2"}, 0)
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("node canonicalization differs: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q differs by construction order: %q vs %q",
+				key, a.Owner(key), b.Owner(key))
+		}
+		if !reflect.DeepEqual(a.Successors(key, 3), b.Successors(key, 3)) {
+			t.Fatalf("successor walk of %q differs by construction order", key)
+		}
+	}
+}
+
+func TestRingDistributionRoughlyEven(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3"}
+	r := mustRing(t, nodes, DefaultVNodes)
+	counts := make(map[string]int)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("spec-hash-%d", i))]++
+	}
+	for _, n := range nodes {
+		frac := float64(counts[n]) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys — vnode spread is broken: %v",
+				n, frac*100, counts)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctOwnerFirst(t *testing.T) {
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	r := mustRing(t, nodes, 16)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		succ := r.Successors(key, len(nodes))
+		if len(succ) != len(nodes) {
+			t.Fatalf("Successors(%q) = %d nodes, want %d", key, len(succ), len(nodes))
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("walk must start at the owner: got %q, owner %q", succ[0], r.Owner(key))
+		}
+		seen := make(map[string]bool)
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("duplicate node %q in walk %v", n, succ)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingSuccessorsClamped(t *testing.T) {
+	r := mustRing(t, []string{"http://n1", "http://n2"}, 8)
+	if got := r.Successors("k", 10); len(got) != 2 {
+		t.Fatalf("Successors clamps to ring size: got %v", got)
+	}
+	if got := r.Successors("k", 1); len(got) != 1 || got[0] != r.Owner("k") {
+		t.Fatalf("Successors(k,1) = %v, want just the owner", got)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring must be rejected")
+	}
+	if _, err := NewRing([]string{"http://n1", "http://n1"}, 0); err == nil {
+		t.Fatal("duplicate nodes must be rejected")
+	}
+}
+
+func TestRingMinimalMovementOnMembershipChange(t *testing.T) {
+	// The point of consistent hashing: adding a node moves only the keys
+	// it takes over, roughly 1/(n+1) of the space — not a full reshuffle.
+	three := mustRing(t, []string{"http://n1", "http://n2", "http://n3"}, DefaultVNodes)
+	four := mustRing(t, []string{"http://n1", "http://n2", "http://n3", "http://n4"}, DefaultVNodes)
+	const keys = 5000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("spec-hash-%d", i)
+		if three.Owner(key) != four.Owner(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.45 {
+		t.Fatalf("adding one node moved %.1f%% of keys — not consistent hashing", frac*100)
+	}
+	if frac < 0.05 {
+		t.Fatalf("adding one node moved only %.1f%% of keys — new node owns almost nothing", frac*100)
+	}
+}

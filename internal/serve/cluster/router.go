@@ -1,0 +1,464 @@
+// router.go — the node-side half of the cluster layer. Every dlserve
+// replica wraps its local serve.Server in a Router; the Router owns the
+// node's view of the ring and of peer health, and decides per request
+// whether to handle locally, forward to the owner, or degrade.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// Wire headers. Forward/readthrough markers double as loop guards: a
+// request carrying one is always handled locally, so routing can never
+// cycle no matter how inconsistent two nodes' health views are.
+const (
+	// HeaderForwarded marks a submission forwarded by a peer router; its
+	// value is the forwarding node.
+	HeaderForwarded = "X-DL-Forwarded"
+	// HeaderNoReadthrough marks a content-addressed read that must be
+	// answered from local tiers only.
+	HeaderNoReadthrough = "X-DL-No-Readthrough"
+	// HeaderRoutedTo, on a submit response, names the node the job was
+	// forwarded to. Job ids are node-local: poll that node.
+	HeaderRoutedTo = "X-DL-Routed-To"
+)
+
+// RouterConfig configures one node's Router.
+type RouterConfig struct {
+	// Self is this node's base URL; it must appear in Nodes.
+	Self string
+	// Nodes is the full ring membership, Self included. Every node must
+	// be configured with the same set (order does not matter — the ring
+	// canonicalizes it), or routing views diverge.
+	Nodes []string
+	// VNodes is the consistent-hash virtual-node count (default 64).
+	VNodes int
+	// Local is the wrapped server that executes whatever this node hosts.
+	Local *serve.Server
+	// Client tunes the robustness envelope for peer traffic (forwarding,
+	// read-through, probes): per-attempt timeout, retries, backoff.
+	Client client.Options
+	// ProbeInterval is the suspect re-probe cadence (default 2s): a peer
+	// marked suspect is retried on /healthz until it answers, then
+	// restored to the routing walk.
+	ProbeInterval time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Router implements http.Handler for one cluster node.
+type Router struct {
+	cfg   RouterConfig
+	ring  *Ring
+	local *serve.Server
+	peers map[string]*client.Client // every node but self
+
+	mu      sync.Mutex
+	suspect map[string]time.Time
+	ctrs    stats.Counters
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewRouter validates the membership, builds the ring and starts the
+// health-probe loop. Callers must Close the router to stop probing.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ring, err := NewRing(cfg.Nodes, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	self := strings.TrimRight(cfg.Self, "/")
+	found := false
+	for _, n := range ring.Nodes() {
+		if n == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, errSelfNotMember(self)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	cfg.Self = self
+	rt := &Router{
+		cfg:     cfg,
+		ring:    ring,
+		local:   cfg.Local,
+		peers:   make(map[string]*client.Client),
+		suspect: make(map[string]time.Time),
+		stop:    make(chan struct{}),
+	}
+	for _, n := range ring.Nodes() {
+		if n != self {
+			rt.peers[n] = client.NewWithOptions(n, cfg.Client)
+		}
+	}
+	for _, c := range []string{
+		"forwards", "forward.failures", "forward.shed",
+		"route.local", "route.skips", "route.fallback_local",
+		"readthrough.local", "readthrough.hits", "readthrough.misses",
+		"peer.suspects", "peer.recoveries", "probes",
+	} {
+		rt.ctrs.Add(c, 0)
+	}
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+type errSelfNotMember string
+
+func (e errSelfNotMember) Error() string {
+	return "cluster: self " + string(e) + " is not a ring member"
+}
+
+// Close stops the probe loop. The wrapped local server is not touched —
+// its lifecycle belongs to the caller.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// Ring returns the router's ring (shared, immutable).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+func (rt *Router) count(name string) {
+	rt.mu.Lock()
+	rt.ctrs.Inc(name)
+	rt.mu.Unlock()
+}
+
+// ServeHTTP routes: fresh submissions and content-addressed reads go
+// through the ring; everything else — and anything carrying a loop-guard
+// header — is local.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" &&
+		r.Header.Get(HeaderForwarded) == "":
+		rt.routeSubmit(w, r)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/results/") &&
+		r.Header.Get(HeaderNoReadthrough) == "":
+		rt.routeResult(w, r, strings.TrimPrefix(r.URL.Path, "/v1/results/"))
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		rt.handleMetrics(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/cluster":
+		rt.handleClusterInfo(w, r)
+	default:
+		rt.local.ServeHTTP(w, r)
+	}
+}
+
+// hashOf extracts the routing key from a submission body. Any body the
+// spec layer rejects returns "" and is delegated to the local server,
+// which produces the canonical 400.
+func hashOf(body []byte) string {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var raw spec.Spec
+	if dec.Decode(&raw) != nil {
+		return ""
+	}
+	n, err := raw.Normalized()
+	if err != nil {
+		return ""
+	}
+	h, err := n.Hash()
+	if err != nil {
+		return ""
+	}
+	return h
+}
+
+// serveLocal hands the (already-read) submission to the wrapped server.
+func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	rt.local.ServeHTTP(w, r)
+}
+
+// routeSubmit walks the ring from the spec's owner: the first healthy
+// node hosts the job. Self hosts immediately when reached; a peer that
+// fails at the transport level is marked suspect and skipped (re-route);
+// a peer that sheds (429/503) passes the job along instead of bouncing
+// the client. If every peer is unavailable the job is hosted locally —
+// a cluster of one still serves.
+func (rt *Router) routeSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	hash := hashOf(body)
+	if hash == "" {
+		rt.serveLocal(w, r, body)
+		return
+	}
+	for _, node := range rt.ring.Successors(hash, rt.ring.Size()) {
+		if node == rt.cfg.Self {
+			rt.count("route.local")
+			rt.serveLocal(w, r, body)
+			return
+		}
+		if rt.suspected(node) {
+			rt.count("route.skips")
+			continue
+		}
+		hdr := http.Header{HeaderForwarded: []string{rt.cfg.Self}}
+		status, rb, rh, err := rt.peers[node].Do(r.Context(), http.MethodPost, "/v1/jobs", body, hdr)
+		if err != nil {
+			rt.markSuspect(node, err)
+			rt.count("forward.failures")
+			continue
+		}
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			rt.count("forward.shed")
+			continue
+		}
+		rt.count("forwards")
+		if ct := rh.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.Header().Set(HeaderRoutedTo, node)
+		w.WriteHeader(status)
+		_, _ = w.Write(rb)
+		return
+	}
+	// Unreachable while self is a member (the walk always reaches self),
+	// kept as the explicit degradation statement.
+	rt.count("route.fallback_local")
+	rt.serveLocal(w, r, body)
+}
+
+// routeResult answers a content-addressed read: local tiers first, then
+// peer read-through along the ring. A peer's copy is admitted into the
+// local tiers before serving, so repeated reads of a hot result stop
+// crossing the network — byte-identity is what makes this replication
+// safe.
+func (rt *Router) routeResult(w http.ResponseWriter, r *http.Request, hash string) {
+	if res, ok := rt.local.LookupResult(hash); ok {
+		rt.count("readthrough.local")
+		writeResult(w, hash, res, r.URL.Query().Get("format"))
+		return
+	}
+	for _, node := range rt.ring.Successors(hash, rt.ring.Size()) {
+		if node == rt.cfg.Self || rt.suspected(node) {
+			continue
+		}
+		res, status, err := rt.fetchPeerResult(r.Context(), node, hash)
+		if err != nil {
+			rt.markSuspect(node, err)
+			continue
+		}
+		if status != http.StatusOK {
+			continue // peer is up but does not hold it
+		}
+		rt.local.AdmitResult(hash, res)
+		rt.count("readthrough.hits")
+		rt.logf("cluster: read-through %s from %s", hash[:12], node)
+		writeResult(w, hash, res, r.URL.Query().Get("format"))
+		return
+	}
+	rt.count("readthrough.misses")
+	http.Error(w, "no result for hash", http.StatusNotFound)
+}
+
+// fetchPeerResult pulls both result bodies (text and JSON) from a peer
+// so the admitted copy is complete. The no-readthrough guard keeps the
+// peer from walking the ring in turn.
+func (rt *Router) fetchPeerResult(ctx context.Context, node, hash string) (*serve.Result, int, error) {
+	hdr := http.Header{HeaderNoReadthrough: []string{"1"}}
+	status, text, _, err := rt.peers[node].Do(ctx, http.MethodGet, "/v1/results/"+hash, nil, hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status != http.StatusOK {
+		return nil, status, nil
+	}
+	jstatus, js, _, err := rt.peers[node].Do(ctx, http.MethodGet, "/v1/results/"+hash+"?format=json", nil, hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if jstatus != http.StatusOK {
+		return nil, jstatus, nil
+	}
+	return &serve.Result{Text: text, JSON: js}, http.StatusOK, nil
+}
+
+func writeResult(w http.ResponseWriter, hash string, res *serve.Result, format string) {
+	w.Header().Set("X-DL-Spec-Hash", hash)
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(res.JSON)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(res.Text)
+}
+
+// --- peer health ---
+
+func (rt *Router) suspected(node string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	_, ok := rt.suspect[node]
+	return ok
+}
+
+func (rt *Router) markSuspect(node string, err error) {
+	rt.mu.Lock()
+	_, already := rt.suspect[node]
+	if !already {
+		rt.suspect[node] = time.Now()
+		rt.ctrs.Inc("peer.suspects")
+	}
+	rt.mu.Unlock()
+	if !already {
+		rt.logf("cluster: peer %s marked suspect: %v", node, err)
+	}
+}
+
+func (rt *Router) suspectList() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(rt.suspect))
+	for n := range rt.suspect {
+		out = append(out, n)
+	}
+	return out
+}
+
+// probeLoop retries suspect peers on /healthz and restores the ones
+// that answer — the recovery half of the suspect protocol.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeOnce()
+		}
+	}
+}
+
+func (rt *Router) probeOnce() {
+	for _, node := range rt.suspectList() {
+		ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeInterval)
+		_, err := rt.peers[node].Health(ctx)
+		cancel()
+		rt.count("probes")
+		if err == nil {
+			rt.mu.Lock()
+			delete(rt.suspect, node)
+			rt.ctrs.Inc("peer.recoveries")
+			rt.mu.Unlock()
+			rt.logf("cluster: peer %s recovered", node)
+		}
+		select {
+		case <-rt.stop:
+			return
+		default:
+		}
+	}
+}
+
+// --- operational surface ---
+
+// Info is the /cluster body: the node's view of membership and health.
+type Info struct {
+	Self     string   `json:"self"`
+	Nodes    []string `json:"nodes"`
+	Suspects []string `json:"suspects,omitempty"`
+	VNodes   int      `json:"vnodes"`
+}
+
+func (rt *Router) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	info := Info{Self: rt.cfg.Self, Nodes: rt.ring.Nodes(), Suspects: rt.suspectList(), VNodes: rt.ring.vnodes}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(info)
+}
+
+// handleMetrics appends the cluster series to the local server's
+// Prometheus exposition: routing/forwarding counters, peer retry
+// budgets (aggregated from the per-peer clients), and a healthy-peer
+// gauge.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rec := &bufferedResponse{hdr: make(http.Header)}
+	rt.local.ServeHTTP(rec, r)
+	if rec.code != 0 && rec.code != http.StatusOK {
+		for k, v := range rec.hdr {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(rec.code)
+		_, _ = w.Write(rec.buf.Bytes())
+		return
+	}
+
+	var combined stats.Counters
+	rt.mu.Lock()
+	combined.Merge(&rt.ctrs)
+	suspects := len(rt.suspect)
+	rt.mu.Unlock()
+	for _, pc := range rt.peers {
+		for k, v := range pc.Counters() {
+			combined.Add("peer."+k, v)
+		}
+	}
+	reg := metrics.NewRegistry()
+	reg.SetGauge("peers.healthy", float64(len(rt.peers)-suspects))
+	reg.SetGauge("ring.nodes", float64(rt.ring.Size()))
+
+	var buf bytes.Buffer
+	buf.Write(rec.buf.Bytes())
+	if err := metrics.WriteProm(&buf, "dlcluster", reg, &combined); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = buf.WriteTo(w)
+}
+
+// bufferedResponse captures a wrapped handler's response for relaying.
+type bufferedResponse struct {
+	hdr  http.Header
+	code int
+	buf  bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.hdr }
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	return b.buf.Write(p)
+}

@@ -84,6 +84,24 @@ func newServerCore(cfg Config) *Server {
 	s.runSpec = func(ctx context.Context, sp spec.Spec, progress func(int, int), coll *metrics.Collector) (*Result, error) {
 		return executeSpec(ctx, sp, s.cfg.ExpJobs, s.cfg.Shards, progress, coll)
 	}
+	if cfg.Runner != nil {
+		s.runSpec = cfg.Runner
+	}
+	// Pre-register the service counters at zero so every scrape exposes
+	// the full set — a dashboard watching cache_evictions_total must not
+	// have to wait for the first eviction to learn the series exists.
+	names := []string{
+		"http.requests", "jobs.submitted", "jobs.completed", "jobs.failed",
+		"jobs.canceled", "jobs.deduped", "queue.rejects",
+		"cache.hits", "cache.misses", "cache.evictions",
+		"results.hits", "results.misses", "results.admitted",
+	}
+	if cfg.Store != nil {
+		names = append(names, "store.hits", "store.writes", "store.errors")
+	}
+	for _, n := range names {
+		s.ctrs.Add(n, 0)
+	}
 	s.routes()
 	return s
 }
@@ -209,6 +227,17 @@ func (s *Server) runJob(j *Job) {
 	close(j.done)
 	st := j.statusLocked()
 	s.mu.Unlock()
+
+	// Spill the finished result to the disk tier outside the lock; a
+	// failed write only costs a recompute after restart.
+	if j.State == JobDone && s.cfg.Store != nil {
+		if serr := s.cfg.Store.Put(j.Hash, res.Text, res.JSON); serr != nil {
+			s.count("store.errors")
+			s.logf("dlserve: store spill %s: %v", j.Hash[:12], serr)
+		} else {
+			s.count("store.writes")
+		}
+	}
 
 	s.mmu.Lock()
 	s.ctrs.Inc(outcome)

@@ -18,6 +18,10 @@
 //	GET    /v1/jobs/{id}        job status + progress
 //	GET    /v1/jobs/{id}/result rendered result (text; ?format=json for
 //	                            structured; ?wait=1 blocks until terminal)
+//	GET    /v1/results/{hash}   content-addressed result read: serves the
+//	                            bytes for a spec hash from the hot LRU or
+//	                            the disk store, 404 when absent — the
+//	                            endpoint cluster peers read through
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness + queue/worker occupancy
 //	GET    /metrics             Prometheus text exposition
@@ -30,6 +34,8 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/metrics"
+	"repro/internal/serve/store"
 	"repro/internal/spec"
 )
 
@@ -45,6 +51,12 @@ type Config struct {
 	// CacheEntries bounds the content-addressed result cache (default
 	// 64 entries; results are rendered tables, a few KB each).
 	CacheEntries int
+	// Store, when non-nil, is the disk spill tier behind the in-memory
+	// LRU: every completed result is persisted there, LRU misses read
+	// through it, and it survives restarts. The determinism contract
+	// (spec hash addresses exact bytes) is what makes a disk hit
+	// indistinguishable from a fresh computation.
+	Store *store.Store
 	// ExpJobs is the per-experiment grid pool width handed to
 	// internal/exp (0 = GOMAXPROCS). Output is byte-identical for every
 	// value, so this is pure execution policy.
@@ -57,6 +69,11 @@ type Config struct {
 	// JobTimeout, when non-zero, bounds each job's wall-clock run time;
 	// an expired job is reported as canceled.
 	JobTimeout time.Duration
+	// Runner, when non-nil, replaces the built-in spec runner. It must
+	// honor the determinism contract (identical bytes for identical
+	// normalized specs) — the cache, the disk store and the cluster
+	// layer all assume it. Test seam and extension point.
+	Runner func(ctx context.Context, sp spec.Spec, progress func(done, total int), coll *metrics.Collector) (*Result, error)
 	// SideDir, when non-empty, receives per-job side files: the
 	// canonical spec (<id>.spec.txt), a JSONL event trace for sim jobs
 	// (<id>.trace.jsonl), and the final status (<id>.status.json).
@@ -107,6 +124,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/results/{hash}", s.handleResultByHash)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -141,27 +159,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// First pass: hot LRU hit or in-flight dedup, under the lock. A hot
+	// miss is counted exactly once, here — the disk probe and enqueue
+	// below don't re-count.
+	if st, code, ok := s.resolveSubmit(n, hash, true); ok {
+		writeJSON(w, code, st)
+		return
+	}
+
+	// Disk read-through, outside the lock (file I/O must not block
+	// submissions). A valid entry becomes a synthetic done job and is
+	// promoted into the LRU; a corrupt entry was already evicted by the
+	// store and falls through to a fresh computation.
+	if s.cfg.Store != nil {
+		if text, js, err := s.cfg.Store.Get(hash); err == nil {
+			s.count("store.hits")
+			s.mu.Lock()
+			res, ok := s.cache.get(hash) // lost a race with a concurrent insert?
+			if !ok {
+				res = &Result{Text: text, JSON: js}
+				if ev := s.cache.put(hash, res); ev > 0 {
+					s.evictionsLocked(ev)
+				}
+			}
+			st := s.cachedJobLocked(n, hash, res)
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+
+	// Second pass: re-check under the lock (another request may have
+	// resolved the hash while we touched the disk), then enqueue.
+	if st, code, ok := s.resolveSubmit(n, hash, false); ok {
+		writeJSON(w, code, st)
+		return
+	}
+
 	s.mu.Lock()
-	if res, ok := s.cache.get(hash); ok {
-		j := s.newJobLocked(n, hash)
-		j.State, j.Cached, j.res = JobDone, true, res
-		j.Done, j.Total = 1, 1
-		j.finished = j.submitted
-		close(j.done)
-		st := j.statusLocked()
-		s.mu.Unlock()
-		s.count("cache.hits")
-		writeJSON(w, http.StatusOK, st)
-		return
-	}
-	if ex, ok := s.inflight[hash]; ok {
-		st := ex.statusLocked()
-		st.Deduped = true
-		s.mu.Unlock()
-		s.count("jobs.deduped")
-		writeJSON(w, http.StatusOK, st)
-		return
-	}
 	if s.draining {
 		s.mu.Unlock()
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
@@ -173,7 +208,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.inflight[hash] = j
 		st := j.statusLocked()
 		s.mu.Unlock()
-		s.count("cache.misses")
 		s.count("jobs.submitted")
 		s.writeSpecSideFile(j)
 		writeJSON(w, http.StatusAccepted, st)
@@ -183,6 +217,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.count("queue.rejects")
 		http.Error(w, fmt.Sprintf("queue full (%d pending)", cap(s.queue)), http.StatusTooManyRequests)
 	}
+}
+
+// resolveSubmit serves a submission from the hot cache or the in-flight
+// set. countMiss makes the first pass charge the hot-tier miss counter.
+func (s *Server) resolveSubmit(n spec.Spec, hash string, countMiss bool) (JobStatus, int, bool) {
+	s.mu.Lock()
+	if res, ok := s.cache.get(hash); ok {
+		st := s.cachedJobLocked(n, hash, res)
+		s.mu.Unlock()
+		s.count("cache.hits")
+		return st, http.StatusOK, true
+	}
+	if ex, ok := s.inflight[hash]; ok {
+		st := ex.statusLocked()
+		st.Deduped = true
+		s.mu.Unlock()
+		if countMiss {
+			s.count("cache.misses")
+		}
+		s.count("jobs.deduped")
+		return st, http.StatusOK, true
+	}
+	s.mu.Unlock()
+	if countMiss {
+		s.count("cache.misses")
+	}
+	return JobStatus{}, 0, false
+}
+
+// cachedJobLocked registers a synthetic already-done job serving res.
+// Caller holds mu.
+func (s *Server) cachedJobLocked(n spec.Spec, hash string, res *Result) JobStatus {
+	j := s.newJobLocked(n, hash)
+	j.State, j.Cached, j.res = JobDone, true, res
+	j.Done, j.Total = 1, 1
+	j.finished = j.submitted
+	close(j.done)
+	return j.statusLocked()
 }
 
 func (s *Server) lookup(id string) *Job {
@@ -242,6 +314,79 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// LookupResult fetches the result bytes for a spec hash from the hot
+// LRU or, failing that, the disk store (promoting a disk hit into the
+// LRU). It is the local read path behind /v1/results/{hash} and the
+// hook cluster routers use for peer read-through.
+func (s *Server) LookupResult(hash string) (*Result, bool) {
+	s.mu.Lock()
+	res, ok := s.cache.get(hash)
+	s.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	text, js, err := s.cfg.Store.Get(hash)
+	if err != nil {
+		return nil, false
+	}
+	s.count("store.hits")
+	res = &Result{Text: text, JSON: js}
+	s.mu.Lock()
+	if hot, ok := s.cache.get(hash); ok {
+		res = hot // a concurrent insert won; serve the canonical copy
+	} else if ev := s.cache.put(hash, res); ev > 0 {
+		s.evictionsLocked(ev)
+	}
+	s.mu.Unlock()
+	return res, true
+}
+
+// AdmitResult inserts a result fetched from elsewhere (a cluster peer)
+// into the hot LRU and the disk store. The determinism contract makes
+// this safe: the hash fully addresses the bytes, so an admitted result
+// is identical to what a local computation would have produced.
+func (s *Server) AdmitResult(hash string, res *Result) {
+	s.mu.Lock()
+	if _, ok := s.cache.get(hash); !ok {
+		if ev := s.cache.put(hash, res); ev > 0 {
+			s.evictionsLocked(ev)
+		}
+	}
+	s.mu.Unlock()
+	s.count("results.admitted")
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Put(hash, res.Text, res.JSON); err != nil {
+			s.logf("dlserve: store admit %s: %v", hash[:12], err)
+		}
+	}
+}
+
+// handleResultByHash serves a result by its content address. Unlike the
+// job endpoints this is location-independent: any node holding the bytes
+// (hot or spilled) can answer, which is what makes cluster peer
+// read-through possible.
+func (s *Server) handleResultByHash(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	res, ok := s.LookupResult(hash)
+	if !ok {
+		s.count("results.misses")
+		http.Error(w, "no result for hash", http.StatusNotFound)
+		return
+	}
+	s.count("results.hits")
+	w.Header().Set("X-DL-Spec-Hash", hash)
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(res.JSON)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(res.Text)
+}
+
 // handleCancel cancels a job: queued jobs terminate immediately, running
 // jobs get their context canceled (exp grids abort between simulations;
 // a single simulation runs to completion — the engine is not
@@ -278,6 +423,7 @@ type Health struct {
 	Running      int     `json:"running"`
 	Jobs         int     `json:"jobs"`
 	CacheEntries int     `json:"cache_entries"`
+	StoreEntries int     `json:"store_entries,omitempty"`
 	Workers      int     `json:"workers"`
 	QueueDepth   int     `json:"queue_depth"`
 	UptimeSec    float64 `json:"uptime_sec"`
@@ -294,6 +440,9 @@ func (s *Server) health() Health {
 	}
 	if s.draining {
 		h.Status = "draining"
+	}
+	if s.cfg.Store != nil {
+		h.StoreEntries = s.cfg.Store.Len()
 	}
 	return h
 }

@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/serve/store"
 	"repro/internal/spec"
 )
 
@@ -557,5 +560,341 @@ func TestCacheLRUBound(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+// TestCacheCountersExported drives the hot-tier counters through a
+// hit, two misses and an eviction, and asserts all three series appear
+// in /metrics with the exact values.
+func TestCacheCountersExported(t *testing.T) {
+	srv := NewServer(Config{Workers: 1, CacheEntries: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, stA := postSpec(t, ts, uniqueSpec(0)) // miss
+	waitDone(t, ts, stA.ID)
+	_, stA2 := postSpec(t, ts, uniqueSpec(0)) // hit
+	if !stA2.Cached {
+		t.Fatalf("resubmit not cached: %+v", stA2)
+	}
+	_, stB := postSpec(t, ts, uniqueSpec(1)) // miss; completion evicts A
+	waitDone(t, ts, stB.ID)
+
+	_, body := getMetrics(t, ts)
+	for _, want := range []string{
+		"dlserve_cache_hits_total 1",
+		"dlserve_cache_misses_total 2",
+		"dlserve_cache_evictions_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestCountersPresentAtZero: a fresh server's scrape already carries the
+// full counter set — dashboards never see a missing series.
+func TestCountersPresentAtZero(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, body := getMetrics(t, ts)
+	for _, want := range []string{
+		"dlserve_cache_hits_total 0",
+		"dlserve_cache_misses_total 0",
+		"dlserve_cache_evictions_total 0",
+		"dlserve_jobs_submitted_total 0",
+		"dlserve_queue_rejects_total 0",
+		"dlserve_results_hits_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func getMetrics(t *testing.T, ts *httptest.Server) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.String()
+}
+
+// TestDiskStoreSurvivesRestart is the spill-tier contract at the service
+// level: a result computed by one server generation is served by the
+// next — from disk, without recomputing — and the bytes are identical.
+func TestDiskStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(Config{Workers: 1, Store: st1})
+	ts1 := httptest.NewServer(srv1)
+	_, sub := postSpec(t, ts1, smallSim())
+	waitDone(t, ts1, sub.ID)
+	_, body1 := getResult(t, ts1, sub.ID, "")
+	hash := sub.Hash
+	ts1.Close()
+	srv1.Close()
+
+	// Second generation over the same directory; the runner is rigged to
+	// fail so a recompute cannot masquerade as a disk hit.
+	st2, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(Config{Workers: 1, Store: st2})
+	srv2.runSpec = func(context.Context, spec.Spec, func(int, int), *metrics.Collector) (*Result, error) {
+		return nil, fmt.Errorf("recompute attempted: disk store was bypassed")
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	resp, sub2 := postSpec(t, ts2, smallSim())
+	if resp.StatusCode != http.StatusOK || !sub2.Cached || sub2.State != JobDone {
+		t.Fatalf("restart submit not served from disk: HTTP %d %+v", resp.StatusCode, sub2)
+	}
+	_, body2 := getResult(t, ts2, sub2.ID, "")
+	if !bytes.Equal(body1, body2) {
+		t.Error("disk-served result differs from the original computation")
+	}
+
+	// The content-addressed endpoint serves the same bytes.
+	rresp, body3 := getResult2(t, ts2, "/v1/results/"+hash)
+	if rresp.StatusCode != http.StatusOK || !bytes.Equal(body3, body1) {
+		t.Errorf("results-by-hash: HTTP %d, identical=%v", rresp.StatusCode, bytes.Equal(body3, body1))
+	}
+	if rresp.Header.Get("X-DL-Spec-Hash") != hash {
+		t.Errorf("X-DL-Spec-Hash = %q", rresp.Header.Get("X-DL-Spec-Hash"))
+	}
+	// And misses are 404s.
+	rresp, _ = getResult2(t, ts2, "/v1/results/"+strings.Repeat("0", 64))
+	if rresp.StatusCode != http.StatusNotFound {
+		t.Errorf("bogus hash: HTTP %d, want 404", rresp.StatusCode)
+	}
+}
+
+func getResult2(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestCorruptSpillRecomputes: a damaged disk entry must not be served —
+// the store evicts it and the job runs fresh.
+func TestCorruptSpillRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Config{Workers: 1, Store: st})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, sub := postSpec(t, ts, smallSim())
+	waitDone(t, ts, sub.ID)
+	_, want := getResult(t, ts, sub.ID, "")
+
+	// Damage the spilled file, then force the next submit through the
+	// disk path by clearing the hot LRU.
+	path := filepath.Join(dir, sub.Hash+".res")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	srv.cache = newResultCache(srv.cfg.CacheEntries)
+	srv.mu.Unlock()
+
+	resp, sub2 := postSpec(t, ts, smallSim())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("corrupt-spill submit: HTTP %d, want 202 (fresh run)", resp.StatusCode)
+	}
+	fin := waitDone(t, ts, sub2.ID)
+	if fin.State != JobDone {
+		t.Fatalf("recompute: %s (%s)", fin.State, fin.Error)
+	}
+	_, got := getResult(t, ts, sub2.ID, "")
+	if !bytes.Equal(got, want) {
+		t.Error("recomputed result differs from original")
+	}
+}
+
+// TestAdmitResult: a result admitted from a peer is served from the hot
+// LRU and lands in the disk store.
+func TestAdmitResult(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(Config{Store: st})
+	defer srv.Close()
+
+	hash := strings.Repeat("ab", 32)
+	srv.AdmitResult(hash, &Result{Text: []byte("peer bytes\n"), JSON: []byte("{}")})
+	res, ok := srv.LookupResult(hash)
+	if !ok || string(res.Text) != "peer bytes\n" {
+		t.Fatalf("LookupResult after admit: %v %q", ok, res)
+	}
+	if !st.Has(hash) {
+		t.Error("admitted result not spilled to disk")
+	}
+}
+
+// TestWaitAbort408: a ?wait=1 long-poll whose request context dies
+// before the job finishes is answered with 408, and the job itself is
+// unaffected.
+func TestWaitAbort408(t *testing.T) {
+	srv, release := blockingServer(Config{Workers: 1})
+	defer func() {
+		close(release)
+		srv.Close()
+	}()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, st := postSpec(t, ts, smallSim())
+	waitState(t, srv, st.ID, JobRunning)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+st.ID+"/result?wait=1", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(30 * time.Millisecond) // let the handler park on j.done
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("aborted long-poll never returned")
+	}
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("aborted wait: HTTP %d, want 408", rec.Code)
+	}
+	// The job is still running and finishes normally afterwards.
+	srv.mu.Lock()
+	state := srv.jobs[st.ID].State
+	srv.mu.Unlock()
+	if state != JobRunning {
+		t.Fatalf("job state after aborted wait: %s", state)
+	}
+}
+
+// TestDrainRacesLongPoll stacks concurrent ?wait=1 long-polls against a
+// Drain of the server that is running their job: every waiter must get
+// the finished body, and Drain must complete. Run under -race by ci.sh.
+func TestDrainRacesLongPoll(t *testing.T) {
+	srv, release := blockingServer(Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, st := postSpec(t, ts, smallSim())
+	waitState(t, srv, st.ID, JobRunning)
+
+	const waiters = 4
+	type polled struct {
+		code int
+		body []byte
+		err  error
+	}
+	results := make(chan polled, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?wait=1")
+			if err != nil {
+				results <- polled{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			_, _ = buf.ReadFrom(resp.Body)
+			results <- polled{code: resp.StatusCode, body: buf.Bytes()}
+		}()
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	time.Sleep(20 * time.Millisecond) // overlap drain with parked waiters
+	close(release)
+
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for i := 0; i < waiters; i++ {
+		p := <-results
+		if p.err != nil {
+			t.Fatalf("long-poll during drain: %v", p.err)
+		}
+		if p.code != http.StatusOK || !bytes.Equal(p.body, []byte("stub\n")) {
+			t.Errorf("long-poll during drain: HTTP %d body %q", p.code, p.body)
+		}
+	}
+}
+
+// TestDrainAbortsLongPollOn410: when a forced drain cancels the job,
+// parked long-pollers are released with 410 (canceled), not left
+// hanging.
+func TestDrainAbortsLongPollGone(t *testing.T) {
+	srv, release := blockingServer(Config{Workers: 1})
+	defer close(release)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, st := postSpec(t, ts, smallSim())
+	waitState(t, srv, st.ID, JobRunning)
+
+	got := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?wait=1")
+		if err != nil {
+			got <- -1
+			return
+		}
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain: %v, want DeadlineExceeded", err)
+	}
+	select {
+	case code := <-got:
+		if code != http.StatusGone {
+			t.Errorf("long-poll after forced drain: HTTP %d, want 410", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll still parked after forced drain")
 	}
 }

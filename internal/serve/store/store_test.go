@@ -1,0 +1,242 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// h returns a deterministic fake spec hash for test keys.
+func h(s string) string {
+	d := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(d[:])
+}
+
+func mustOpen(t *testing.T, dir string, max int) *Store {
+	t.Helper()
+	s, err := Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	text, js := []byte("table body\nrow\n"), []byte(`{"x":1}`)
+	if err := s.Put(h("a"), text, js); err != nil {
+		t.Fatal(err)
+	}
+	gt, gj, err := s.Get(h("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gt) != string(text) || string(gj) != string(js) {
+		t.Errorf("roundtrip mismatch: %q / %q", gt, gj)
+	}
+	if !s.Has(h("a")) || s.Len() != 1 {
+		t.Errorf("Has/Len after put: %v %d", s.Has(h("a")), s.Len())
+	}
+	// Empty payloads are legal (a sim with no JSON body would still be
+	// addressable).
+	if err := s.Put(h("empty"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if gt, gj, err := s.Get(h("empty")); err != nil || len(gt) != 0 || len(gj) != 0 {
+		t.Errorf("empty roundtrip: %q %q %v", gt, gj, err)
+	}
+}
+
+func TestMiss(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	if _, _, err := s.Get(h("nope")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("miss: %v, want ErrNotFound", err)
+	}
+	// Invalid hashes never touch the filesystem.
+	if _, _, err := s.Get("../../etc/passwd"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("invalid hash: %v, want ErrNotFound", err)
+	}
+	if err := s.Put("short", nil, nil); err == nil {
+		t.Error("Put accepted an invalid hash")
+	}
+}
+
+// TestSurvivesReopen is the restart contract: a second Open over the
+// same directory serves the same bytes.
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put(h("a"), []byte("persisted"), []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, 0)
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d, want 1", s2.Len())
+	}
+	gt, _, err := s2.Get(h("a"))
+	if err != nil || string(gt) != "persisted" {
+		t.Errorf("reopened Get: %q, %v", gt, err)
+	}
+}
+
+// TestCorruptionEvicted flips payload bytes and truncates files; every
+// damaged form must be detected, deleted, and reported as ErrCorrupt.
+func TestCorruptionEvicted(t *testing.T) {
+	for _, damage := range []struct {
+		name string
+		fn   func(path string) error
+	}{
+		{"bitflip", func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			b[len(b)-1] ^= 0x40
+			return os.WriteFile(p, b, 0o644)
+		}},
+		{"truncate", func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, b[:len(b)-3], 0o644)
+		}},
+		{"garbage-header", func(p string) error {
+			return os.WriteFile(p, []byte("not a header\npayload"), 0o644)
+		}},
+		{"no-newline", func(p string) error {
+			return os.WriteFile(p, []byte("headerless"), 0o644)
+		}},
+	} {
+		t.Run(damage.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, 0)
+			if err := s.Put(h("x"), []byte("good bytes"), []byte(`{"ok":true}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := damage.fn(s.path(h("x"))); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Get(h("x")); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("damaged Get: %v, want ErrCorrupt", err)
+			}
+			// The corrupt file is gone: the next read is a clean miss.
+			if _, _, err := s.Get(h("x")); !errors.Is(err, ErrNotFound) {
+				t.Errorf("after eviction: %v, want ErrNotFound", err)
+			}
+			if _, err := os.Stat(s.path(h("x"))); !os.IsNotExist(err) {
+				t.Error("corrupt file still on disk")
+			}
+		})
+	}
+}
+
+// TestHeaderHashMismatch: a file renamed onto the wrong key (or a
+// tampered header) must not serve under that key.
+func TestHeaderHashMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	if err := s.Put(h("a"), []byte("aaa"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path(h("a")), s.path(h("b"))); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, 0)
+	if _, _, err := s2.Get(h("b")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("renamed file served under wrong key: %v", err)
+	}
+}
+
+// TestTempFilesSweptOnOpen: a crashed writer's temp file is removed by
+// the next Open and never counted as an entry.
+func TestTempFilesSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, 0)
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-123")); !os.IsNotExist(err) {
+		t.Error("temp file survived Open")
+	}
+}
+
+// TestEvictionBound: beyond the entry bound the oldest files go first.
+func TestEvictionBound(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 2)
+	for i, key := range []string{"old", "mid", "new"} {
+		if err := s.Put(h(key), []byte(key), nil); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the age order is unambiguous on coarse
+		// filesystem clocks.
+		old := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(s.path(h(key)), old, old); err != nil {
+			t.Fatal(err)
+		}
+		s.evict()
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if _, _, err := s.Get(h("old")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("oldest entry survived the bound: %v", err)
+	}
+	for _, key := range []string{"mid", "new"} {
+		if _, _, err := s.Get(h(key)); err != nil {
+			t.Errorf("recent entry %q evicted: %v", key, err)
+		}
+	}
+}
+
+// TestOverwriteSameHash: re-putting the same hash is idempotent (the
+// determinism contract means the bytes are the same anyway, but the
+// store must tolerate the rewrite).
+func TestOverwriteSameHash(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(h("k"), []byte("same bytes"), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestConcurrentPutGet hammers the store from many goroutines; run
+// under -race by ci.sh.
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := h(fmt.Sprintf("k%d", (g+i)%12))
+				body := []byte(strings.Repeat("x", 64))
+				if err := s.Put(key, body, nil); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, _, err := s.Get(key); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
