@@ -58,6 +58,15 @@ if [ "${1:-}" != "quick" ]; then
 	go test -run 'ShardedReportByteIdentity|ShardedExperimentByteIdentity' \
 		./internal/spec/ ./internal/exp/
 
+	echo "== dlbench allreduce smoke (collective layer: all mechanisms + DL topologies)"
+	go run ./cmd/dlbench -exp allreduce -q >/dev/null
+
+	echo "== dlsim collective golden (train/AllReduce run must keep stdout byte-identical)"
+	"$tmp/dlsim" -workload train -scale 12 -iters 2 >"$tmp/golden_train.txt"
+	cmp testdata/golden_dlsim_train.txt "$tmp/golden_train.txt"
+	"$tmp/dlsim" -workload train -scale 12 -iters 2 -shards 4 >"$tmp/golden_train_shards.txt"
+	cmp testdata/golden_dlsim_train.txt "$tmp/golden_train_shards.txt"
+
 	echo "== dlperf quick smoke (writes BENCH_ci.json, exits non-zero on a dead suite)"
 	go run ./cmd/dlperf -label ci -quick -o "$tmp" >/dev/null
 	test -s "$tmp/BENCH_ci.json"

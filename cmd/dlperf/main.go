@@ -72,6 +72,7 @@ func main() {
 		{"kernel-par", benchKernelPar},
 		{"noc-p2p", benchP2P},
 		{"table4-suite", benchTableIV},
+		{"collective", benchCollective},
 	}
 
 	bf := benchFile{
@@ -260,6 +261,23 @@ func benchTableIV(quick bool) suiteResult {
 	var sps []spec.Spec
 	for _, w := range []string{"bfs", "hotspot", "kmeans", "nw", "pr", "sssp", "tspow"} {
 		sps = append(sps, spec.Spec{Kind: spec.KindSim, Workload: w, Scale: scale, Iters: iters})
+	}
+	return benchSpecs(sps...)
+}
+
+// benchCollective runs the data-parallel training workload — dominated by
+// the AllReduce rendezvous — under every IDC mechanism, exercising each
+// mechanism's collective schedule (ring on DL's chain, tree elsewhere).
+func benchCollective(quick bool) suiteResult {
+	scale := 16
+	iters := 4
+	if quick {
+		scale = 13
+		iters = 2
+	}
+	var sps []spec.Spec
+	for _, m := range []string{"dimm-link", "mcn", "aim", "abc-dimm"} {
+		sps = append(sps, spec.Spec{Kind: spec.KindSim, Workload: "train", Mech: m, Scale: scale, Iters: iters})
 	}
 	return benchSpecs(sps...)
 }

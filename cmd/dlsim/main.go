@@ -32,7 +32,7 @@ func main() {
 		mech      = flag.String("mech", spec.DefaultMech, "mechanism: dimm-link | mcn | aim | abc-dimm | host-cpu")
 		dimms     = flag.Int("dimms", spec.DefaultDIMMs, "number of DIMMs")
 		channels  = flag.Int("channels", spec.DefaultChannels, "number of memory channels")
-		workload  = flag.String("workload", spec.DefaultWorkload, "workload: bfs | hotspot | kmeans | nw | pr | sssp | spmv | tspow | gemv | histo | p2p | sync")
+		workload  = flag.String("workload", spec.DefaultWorkload, "workload: bfs | hotspot | kmeans | nw | pr | sssp | spmv | tspow | gemv | histo | train | p2p | sync")
 		scale     = flag.Int("scale", spec.DefaultScale, "graph scale (2^scale vertices) / problem size class")
 		ef        = flag.Int("ef", spec.DefaultEdgeFactor, "graph edge factor")
 		iters     = flag.Int("iters", spec.DefaultIters, "iterations (pr, kmeans, hotspot, spmv)")
@@ -42,6 +42,7 @@ func main() {
 		polling   = flag.String("polling", "", "polling mode override: base | base+itrpt | proxy | proxy+itrpt")
 		cxl       = flag.Bool("cxl", false, "disaggregated mode: inter-group traffic over CXL instead of host forwarding")
 		bcast     = flag.Bool("broadcast", false, "use the broadcast formulation (pr, sssp, spmv)")
+		coll      = flag.String("coll", "", "collective algorithm override: ring | hd | tree (default: auto per mechanism/topology)")
 		profile   = flag.Bool("profile", false, "record the per-thread traffic matrix")
 		faultSpec = flag.String("fault", "", "link-fault plan, e.g. 'ber=1e-7,down=0-1@10us,stall=2-3@5us+20us,degrade=1-2@0*0.5' (dimm-link only)")
 		faultSeed = flag.Int64("faultseed", spec.DefaultFaultSeed, "seed for the fault plan's error draws")
@@ -72,7 +73,7 @@ func main() {
 		Mech: *mech, DIMMs: *dimms, Channels: *channels,
 		Workload: *workload, Scale: *scale, EdgeFactor: *ef, Iters: *iters,
 		Topology: *topology, LinkBW: *linkbw, Polling: *polling,
-		CXL: *cxl, Broadcast: *bcast,
+		CXL: *cxl, Broadcast: *bcast, Coll: *coll,
 		Seed: *seed, Fault: *faultSpec, FaultSeed: *faultSeed,
 	}.Normalized()
 	if err != nil {

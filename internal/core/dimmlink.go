@@ -9,6 +9,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/fault"
 	"repro/internal/host"
+	"repro/internal/idc"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/noc"
@@ -320,7 +321,7 @@ func (l *Link) cxlSend(at sim.Time, srcGroup, dstGroup int, bytes uint32) sim.Ti
 	_, egEnd := l.groups[srcGroup].egress.Reserve(at, dur)
 	arrive := egEnd + l.cfg.CXL.PortLatency + l.cfg.CXL.SwitchLatency
 	_, inEnd := l.groups[dstGroup].ingress.Reserve(arrive, dur)
-	l.ctrs.Add("cxl.bytes", uint64(bytes))
+	l.ctrs.Add(idc.CtrCXLBytes, uint64(bytes))
 	return inEnd + l.cfg.CXL.PortLatency
 }
 
@@ -412,8 +413,8 @@ func (l *Link) sendPacket(at sim.Time, src, dst int, wireBytes int) sim.Time {
 			// connected and static routes only walk real links.
 			panic(err)
 		}
-		l.ctrs.Add("link.bytes", uint64(wireBytes))
-		l.ctrs.Inc("packets")
+		l.ctrs.Add(idc.CtrLinkBytes, uint64(wireBytes))
+		l.ctrs.Inc(idc.CtrPackets)
 		l.pktCount++
 		if l.cfg.ErrorEvery == 0 || l.pktCount%l.cfg.ErrorEvery != 0 {
 			if l.cfg.Metrics.Active() {
@@ -424,7 +425,7 @@ func (l *Link) sendPacket(at sim.Time, src, dst int, wireBytes int) sim.Time {
 		}
 		// CRC failure at dst: no ACK returns; the source retransmits after
 		// a fixed retry timeout sized to a few worst-case round trips.
-		l.ctrs.Inc("link.retries")
+		l.ctrs.Inc(idc.CtrRetries)
 		l.cfg.Metrics.Observe(metrics.HistDLLRetry, retryTimeout)
 		t = arrive + retryTimeout
 	}
@@ -444,9 +445,9 @@ func (l *Link) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, write 
 		panic("core: Access called for a local address")
 	}
 	if write {
-		l.ctrs.Inc("remote.writes")
+		l.ctrs.Inc(idc.CtrRemoteWrites)
 	} else {
-		l.ctrs.Inc("remote.reads")
+		l.ctrs.Inc(idc.CtrRemoteReads)
 	}
 	var done sim.Time
 	if l.groupOf[srcDIMM] == l.groupOf[dst] {
@@ -521,7 +522,7 @@ func (l *Link) registerAtProxy(at sim.Time, dimm int) sim.Time {
 	if dimm != g.master {
 		t = l.sendPacket(l.packetize(t), dimm, g.master, wireBytesFor(0))
 		t = l.decode(t)
-		l.ctrs.Inc("proxy.registrations")
+		l.ctrs.Inc(idc.CtrProxyRegs)
 	}
 	return l.host.NoticeTime(t, g.master, 1)
 }
@@ -544,8 +545,8 @@ func wireBytesTotal(size uint32) uint32 {
 // packets.
 func (l *Link) interGroupAccess(at sim.Time, src, dst int, addr uint64, size uint32, write bool) sim.Time {
 	pkts := uint64(NumChunks(size))
-	l.ctrs.Add("packets", pkts)
-	l.ctrs.Inc("intergroup.accesses")
+	l.ctrs.Add(idc.CtrPackets, pkts)
+	l.ctrs.Inc(idc.CtrInterGroup)
 	if l.cfg.InterGroup == ViaCXL {
 		return l.interBladeAccess(at, src, dst, addr, size, write)
 	}
@@ -609,7 +610,7 @@ func (l *Link) interBladeAccess(at sim.Time, src, dst int, addr uint64, size uin
 
 // Broadcast implements intra- and inter-group broadcast (Figure 5-c/d).
 func (l *Link) Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) sim.Time {
-	l.ctrs.Inc("broadcasts")
+	l.ctrs.Inc(idc.CtrBroadcasts)
 	srcGroup := l.groupOf[srcDIMM]
 	last := l.broadcastWithin(at, srcDIMM, size, srcGroup)
 	for gi, g := range l.groups {
@@ -657,8 +658,8 @@ func (l *Link) broadcastWithin(at sim.Time, src int, size uint32, shard int) sim
 			// Unreachable without fault injection (connected topology).
 			panic(err)
 		}
-		l.ctrs.Add("link.bytes", uint64(wire*(g.size-1)))
-		l.ctrs.Inc("packets")
+		l.ctrs.Add(idc.CtrLinkBytes, uint64(wire*(g.size-1)))
+		l.ctrs.Inc(idc.CtrPackets)
 		if d := l.decode(fin); d > last {
 			last = d
 		}
@@ -670,7 +671,7 @@ func (l *Link) broadcastWithin(at sim.Time, src int, size uint32, shard int) sim
 // Barrier implements idc.Interconnect: hierarchical (default) or
 // centralized synchronization over DIMM-Link.
 func (l *Link) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
-	l.ctrs.Inc("barriers")
+	l.ctrs.Inc(idc.CtrBarriers)
 	if l.cfg.Sync == SyncCentralized {
 		return l.centralBarrier(arrivals, threadDIMM)
 	}
@@ -703,7 +704,7 @@ func (l *Link) hierBarrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 		arrive := t
 		if d != g.master {
 			arrive = l.decode(l.sendPacket(l.packetize(t), d, g.master, syncWire))
-			l.ctrs.Inc("sync.messages")
+			l.ctrs.Inc(idc.CtrSyncMsgs)
 		}
 		if arrive > groupDone[l.groupOf[d]] {
 			groupDone[l.groupOf[d]] = arrive
@@ -729,7 +730,7 @@ func (l *Link) hierBarrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 			if gi == root || t == 0 {
 				continue
 			}
-			l.ctrs.Inc("sync.messages")
+			l.ctrs.Inc(idc.CtrSyncMsgs)
 			if d := l.interGroupMessage(t, l.groups[gi].master, l.groups[root].master, syncWire); d > global {
 				global = d
 			}
@@ -740,7 +741,7 @@ func (l *Link) hierBarrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 			if gi == root || t == 0 {
 				continue
 			}
-			l.ctrs.Inc("sync.messages")
+			l.ctrs.Inc(idc.CtrSyncMsgs)
 			if d := l.interGroupMessage(global, l.groups[root].master, l.groups[gi].master, syncWire); d > release {
 				release = d
 			}
@@ -771,9 +772,11 @@ func (l *Link) centralBarrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 	var global sim.Time
 	for i, a := range arrivals {
 		d := threadDIMM[i]
+		// Every thread pays the intra-DIMM hand-off to its master core
+		// first; remote masters then launch the sync packet.
 		arrive := a + l.cfg.IntraDIMMSyncCost
 		if d != central {
-			arrive = l.syncMessage(a, d, central, syncWire)
+			arrive = l.syncMessage(a+l.cfg.IntraDIMMSyncCost, d, central, syncWire)
 		}
 		if arrive > global {
 			global = arrive
@@ -820,7 +823,7 @@ func (l *Link) Distance(j, k int) float64 {
 // syncMessage carries one sync packet between arbitrary DIMMs using the
 // hybrid routing (link when intra-group, host or CXL otherwise).
 func (l *Link) syncMessage(at sim.Time, src, dst int, wire int) sim.Time {
-	l.ctrs.Inc("sync.messages")
+	l.ctrs.Inc(idc.CtrSyncMsgs)
 	if l.groupOf[src] == l.groupOf[dst] {
 		return l.decode(l.sendPacket(l.packetize(at), src, dst, wire))
 	}

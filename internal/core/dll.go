@@ -15,6 +15,7 @@ package core
 
 import (
 	"repro/internal/fault"
+	"repro/internal/idc"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -132,17 +133,17 @@ func (l *Link) dllHop(g *group, u, v int, at sim.Time, wire int) (sim.Time, bool
 			case fault.VerdictCorrupt:
 				// The receiver's CRC check fails and it NAKs; the sender
 				// replays from the buffer as soon as the NAK returns.
-				l.ctrs.Inc("fault.corrupted")
-				l.ctrs.Inc("fault.replays")
-				l.ctrs.Inc("link.retries")
+				l.ctrs.Inc(idc.CtrFaultCorrupted)
+				l.ctrs.Inc(idc.CtrFaultReplays)
+				l.ctrs.Inc(idc.CtrRetries)
 				stall := hopArrive + l.ackDelay() - t
 				l.cfg.Metrics.Observe(metrics.HistDLLRetry, stall)
 				t = hopArrive + l.ackDelay()
 			case fault.VerdictDrop:
 				// The flits vanished; no NAK ever comes, so the
 				// retransmission timer fires, doubling each attempt.
-				l.ctrs.Inc("fault.timeouts")
-				l.ctrs.Inc("link.retries")
+				l.ctrs.Inc(idc.CtrFaultTimeouts)
+				l.ctrs.Inc(idc.CtrRetries)
 				l.cfg.Metrics.Observe(metrics.HistDLLRetry, l.cfg.DLL.AckTimeout<<uint(attempt))
 				t += l.cfg.DLL.AckTimeout << uint(attempt)
 			}
@@ -150,7 +151,7 @@ func (l *Link) dllHop(g *group, u, v int, at sim.Time, wire int) (sim.Time, bool
 				// Retry budget exhausted: declare the link dead so the
 				// router stops choosing it, and report failure upward.
 				l.flt.ForceDown(g.base+u, g.base+v, t)
-				l.ctrs.Inc("fault.linkdown")
+				l.ctrs.Inc(idc.CtrFaultLinkDown)
 				arrive = t
 				ok = false
 				return t
@@ -175,8 +176,8 @@ func (l *Link) dllHop(g *group, u, v int, at sim.Time, wire int) (sim.Time, bool
 // packet itself.
 func (l *Link) sendPacketFI(at sim.Time, src, dst int, wireBytes int) sim.Time {
 	g := l.groups[l.groupOf[src]]
-	l.ctrs.Add("link.bytes", uint64(wireBytes))
-	l.ctrs.Inc("packets")
+	l.ctrs.Add(idc.CtrLinkBytes, uint64(wireBytes))
+	l.ctrs.Inc(idc.CtrPackets)
 	l.pktCount++
 	t := at
 	cur, target := l.nodeOf[src], l.nodeOf[dst]
@@ -189,7 +190,7 @@ func (l *Link) sendPacketFI(at sim.Time, src, dst int, wireBytes int) sim.Time {
 			return l.hostFallback(t, g.base+cur, dst, wireBytes)
 		}
 		if rerouted {
-			l.ctrs.Inc("fault.reroutes")
+			l.ctrs.Inc(idc.CtrFaultReroutes)
 		}
 		// Walk the path; a hop that dies mid-walk re-enters the outer
 		// loop to re-route from the stranded node.
@@ -215,8 +216,8 @@ func (l *Link) sendPacketFI(at sim.Time, src, dst int, wireBytes int) sim.Time {
 // inter-group traffic (Section III-C). This is the graceful-degradation
 // path of last resort — slow, but the computation completes.
 func (l *Link) hostFallback(at sim.Time, srcDIMM, dstDIMM int, wire int) sim.Time {
-	l.ctrs.Inc("fault.fallback.packets")
-	l.ctrs.Add("fault.fallback.bytes", uint64(wire))
+	l.ctrs.Inc(idc.CtrFaultFallback)
+	l.ctrs.Add(idc.CtrFaultFallbackB, uint64(wire))
 	noticed := l.host.NoticeTime(at, srcDIMM, 1)
 	return l.host.Forward(noticed, srcDIMM, dstDIMM, uint32(wire))
 }
@@ -269,8 +270,8 @@ func (l *Link) broadcastWithinFI(at sim.Time, src int, size uint32, shard int) s
 				last = arr
 			}
 		}
-		l.ctrs.Add("link.bytes", uint64(wire*delivered))
-		l.ctrs.Inc("packets")
+		l.ctrs.Add(idc.CtrLinkBytes, uint64(wire*delivered))
+		l.ctrs.Inc(idc.CtrPackets)
 		t = sendAt
 	}
 	if d := l.decode(last); d > at {

@@ -40,6 +40,38 @@ type Memory interface {
 	Broadcast(at sim.Time, core int, addr uint64, size uint32) sim.Time
 	// Barrier synchronizes the calling thread group; see idc.Interconnect.
 	Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time
+	// Collective performs a gang-wide collective data exchange (AllReduce,
+	// ReduceScatter, AllGather, AllToAll) of the given per-rank payload and
+	// returns the common release time; like Barrier, every thread of the
+	// group participates.
+	Collective(op CollectiveOp, arrivals []sim.Time, threadDIMM []int, bytes uint32) sim.Time
+}
+
+// CollectiveOp enumerates the gang-wide collective exchanges a workload
+// can issue. The memory system maps them onto the configured IDC
+// mechanism's collective scheduler (internal/idc Collectives).
+type CollectiveOp int
+
+const (
+	CollAllReduce CollectiveOp = iota
+	CollReduceScatter
+	CollAllGather
+	CollAllToAll
+)
+
+// String implements fmt.Stringer.
+func (op CollectiveOp) String() string {
+	switch op {
+	case CollAllReduce:
+		return "allreduce"
+	case CollReduceScatter:
+		return "reduce-scatter"
+	case CollAllGather:
+		return "allgather"
+	case CollAllToAll:
+		return "alltoall"
+	}
+	return fmt.Sprintf("collective(%d)", int(op))
 }
 
 // Config describes the core microarchitecture.
@@ -87,6 +119,7 @@ const (
 	opBroadcast
 	opDrain
 	opScatter
+	opCollective
 )
 
 type op struct {
@@ -96,6 +129,7 @@ type op struct {
 	cycles uint64
 	span   uint64
 	write  bool
+	coll   CollectiveOp
 }
 
 type slot struct {
@@ -138,6 +172,15 @@ type Group struct {
 	barrierArr  []sim.Time
 	barrierIn   []bool
 	barrierWait int
+
+	// Collective rendezvous state, mirroring the barrier plumbing: all
+	// unfinished threads must issue the same collective (op, bytes) before
+	// the exchange runs and releases them at a uniform time.
+	collArr   []sim.Time
+	collIn    []bool
+	collWait  int
+	collOp    CollectiveOp
+	collBytes uint32
 
 	// Profile[i][d] counts thread i's accesses to DIMM d when profiling is
 	// enabled — the M[T][N] table of Algorithm 1.
@@ -207,6 +250,8 @@ func (g *Group) Threads() int { return len(g.threads) }
 func (g *Group) Run() sim.Time {
 	g.barrierArr = make([]sim.Time, len(g.threads))
 	g.barrierIn = make([]bool, len(g.threads))
+	g.collArr = make([]sim.Time, len(g.threads))
+	g.collIn = make([]bool, len(g.threads))
 	for _, t := range g.threads {
 		t := t
 		t.eng.At(t.eng.Now(), func() { g.step(t) })
@@ -248,6 +293,7 @@ func (g *Group) step(t *thread) {
 		t.stats.Finish = t.time
 		g.running--
 		g.checkBarrier()
+		g.checkCollective()
 		return
 	}
 	switch o.kind {
@@ -295,6 +341,18 @@ func (g *Group) step(t *thread) {
 		g.barrierIn[t.id] = true
 		g.barrierWait++
 		g.checkBarrier()
+	case opCollective:
+		g.retireAll(t)
+		if g.collWait == 0 {
+			g.collOp, g.collBytes = o.coll, o.size
+		} else if g.collOp != o.coll || g.collBytes != o.size {
+			panic(fmt.Sprintf("cores: mismatched collectives in one gang: %v/%d vs %v/%d",
+				g.collOp, g.collBytes, o.coll, o.size))
+		}
+		g.collArr[t.id] = t.time
+		g.collIn[t.id] = true
+		g.collWait++
+		g.checkCollective()
 	default:
 		panic(fmt.Sprintf("cores: unknown op kind %d", o.kind))
 	}
@@ -398,6 +456,42 @@ func (g *Group) checkBarrier() {
 	g.barrierWait = 0
 }
 
+// checkCollective runs the collective exchange once every unfinished
+// thread issued it, then releases them all at the uniform time.
+func (g *Group) checkCollective() {
+	if g.collWait == 0 || g.collWait < g.running {
+		return
+	}
+	var arrivals []sim.Time
+	var dimms []int
+	var ids []int
+	for _, t := range g.threads {
+		if t.finished || !g.collIn[t.id] {
+			continue
+		}
+		arrivals = append(arrivals, g.collArr[t.id])
+		dimms = append(dimms, t.homeDIMM)
+		ids = append(ids, t.id)
+	}
+	release := g.mem.Collective(g.collOp, arrivals, dimms, g.collBytes)
+	// As with barriers: when the rendezvous completes because a thread
+	// finished, the release cannot predate that discovery.
+	if now := g.eng.Now(); release < now {
+		release = now
+	}
+	for i, id := range ids {
+		t := g.threads[id]
+		g.collIn[id] = false
+		t.stats.IDCStall += release - arrivals[i]
+		t.stats.Ops++
+		t.stats.RemoteOps++
+		t.stats.BytesTouched += uint64(g.collBytes)
+		t.time = release
+		g.schedule(t)
+	}
+	g.collWait = 0
+}
+
 // Ctx is the interface workload code uses to interact with the timing
 // model. All methods must be called from the thread's own goroutine.
 type Ctx struct {
@@ -443,6 +537,33 @@ func (c *Ctx) Barrier() { c.send(op{kind: opBarrier}) }
 func (c *Ctx) Broadcast(addr uint64, size uint32) {
 	c.send(op{kind: opBroadcast, addr: addr, size: size})
 }
+
+// Collective joins a gang-wide collective exchange of bytes per rank; the
+// thread blocks until the exchange completes. Every thread of the group
+// must issue the same (op, bytes) pair, like a barrier.
+func (c *Ctx) Collective(op CollectiveOp, bytes uint32) {
+	c.send(op2coll(op, bytes))
+}
+
+func op2coll(o CollectiveOp, bytes uint32) op {
+	return op{kind: opCollective, coll: o, size: bytes}
+}
+
+// AllReduce sums a bytes-sized payload across all ranks, leaving every
+// rank with the full result (the gradient exchange of data-parallel
+// training).
+func (c *Ctx) AllReduce(bytes uint32) { c.Collective(CollAllReduce, bytes) }
+
+// ReduceScatter sums across ranks, leaving each rank with its 1/N share.
+func (c *Ctx) ReduceScatter(bytes uint32) { c.Collective(CollReduceScatter, bytes) }
+
+// AllGather concatenates each rank's 1/N share into the full payload on
+// every rank.
+func (c *Ctx) AllGather(bytes uint32) { c.Collective(CollAllGather, bytes) }
+
+// AllToAll performs the personalized exchange: each rank sends a distinct
+// 1/N chunk to every other rank.
+func (c *Ctx) AllToAll(bytes uint32) { c.Collective(CollAllToAll, bytes) }
 
 // Drain blocks until all of this thread's outstanding accesses complete.
 func (c *Ctx) Drain() { c.send(op{kind: opDrain}) }

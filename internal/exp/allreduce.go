@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/idc"
+	"repro/internal/nmp"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "allreduce",
+		Title: "Collectives: data-parallel training AllReduce across mechanisms and DL topologies",
+		Run:   runAllReduce,
+	})
+}
+
+// allReduceSizing picks the training shapes: gradient payloads span the
+// latency-bound to bandwidth-bound regimes of the collective.
+func allReduceSizing(quick bool) (params []int, steps, samples int) {
+	if quick {
+		return []int{1 << 12, 1 << 14}, 2, 128
+	}
+	return []int{1 << 12, 1 << 14, 1 << 16}, 4, 256
+}
+
+func runAllReduce(o Options) []*stats.Table {
+	cfg := sysConfig{"16D-8C", 16, 8}
+	params, steps, samples := allReduceSizing(o.Quick)
+	mkTrain := func(p int) workloads.Workload {
+		return workloads.NewTrain(p, steps, samples, o.Seed)
+	}
+
+	// (a) Mechanism comparison on each mechanism's native collective
+	// schedule (tree for the baselines, ring for DL's default chain).
+	mechs := []nmp.Mechanism{nmp.MechMCN, nmp.MechAIM, nmp.MechABCDIMM, nmp.MechDIMMLink, nmp.MechHostCPU}
+	mechOuts := runJobs(o, len(params)*len(mechs), func(i int) runOut {
+		return execute(o, mkTrain(params[i/len(mechs)]), mechs[i%len(mechs)], cfg, nil, nil, false)
+	})
+	mechTab := stats.NewTable("AllReduce training — speedup over MCN per gradient payload (16D-8C)",
+		"grad-bytes", "mcn", "aim", "abc-dimm", "dl", "host")
+	for pi, p := range params {
+		row := mechOuts[pi*len(mechs) : (pi+1)*len(mechs)]
+		mcn := row[0].res.Makespan
+		mechTab.Addf(fmt.Sprintf("%dKiB", p*4/1024), 1.0,
+			speedup(mcn, row[1].res.Makespan), speedup(mcn, row[2].res.Makespan),
+			speedup(mcn, row[3].res.Makespan), speedup(mcn, row[4].res.Makespan))
+	}
+
+	// (b) DL topology sweep: the collective algorithm follows the topology
+	// (ring on chain/ring, halving-doubling on mesh/torus).
+	topos := []core.TopologyKind{core.TopoChain, core.TopoRing, core.TopoMesh, core.TopoTorus}
+	topoOuts := runJobs(o, len(params)*len(topos), func(i int) runOut {
+		topo := topos[i%len(topos)]
+		tweak := func(c *nmp.Config) { c.DL.Topology = topo }
+		return execute(o, mkTrain(params[i/len(topos)]), nmp.MechDIMMLink, cfg, tweak, nil, false)
+	})
+	topoTab := stats.NewTable("AllReduce training — DL speedup over chain topology per payload (16D-8C)",
+		"grad-bytes", "chain", "ring", "mesh", "torus")
+	for pi, p := range params {
+		row := topoOuts[pi*len(topos) : (pi+1)*len(topos)]
+		chain := row[0].res.Makespan
+		topoTab.Addf(fmt.Sprintf("%dKiB", p*4/1024), 1.0,
+			speedup(chain, row[1].res.Makespan), speedup(chain, row[2].res.Makespan),
+			speedup(chain, row[3].res.Makespan))
+	}
+
+	// (c) Collective traffic at the largest payload: schedule shape per
+	// mechanism, from the unified IDC counter taxonomy.
+	trafTab := stats.NewTable("AllReduce traffic at largest payload — collective schedule per mechanism",
+		"mech", "algo", "episodes", "steps", "coll-bytes")
+	big := len(params) - 1
+	for mi, mech := range mechs {
+		if mech == nmp.MechHostCPU {
+			continue // the host has no IDC layer
+		}
+		out := mechOuts[big*len(mechs)+mi]
+		ctrs := out.sys.IC.Counters()
+		trafTab.Addf(string(mech), string(out.sys.Coll.Algo()),
+			ctrs.Get(idc.CtrCollectives), ctrs.Get(idc.CtrCollSteps), ctrs.Get(idc.CtrCollBytes))
+	}
+	return []*stats.Table{mechTab, topoTab, trafTab}
+}

@@ -20,16 +20,35 @@ type ABCDIMM struct {
 	dram []*dram.Module
 	host *host.Host
 	ctrs stats.Counters
+
+	// firstInCh[c] is the lowest DIMM actually populated on channel c, or
+	// -1 for an empty channel. Derived from the real layout so that a
+	// partially populated last channel (NumDIMMs not a multiple of
+	// NumChannels) never aims a broadcast replay at a nonexistent slot.
+	firstInCh []int
 }
 
 // NewABCDIMM builds the mechanism and its host model (the host polls all
 // DIMMs, as in MCN — ABC-DIMM has no proxies).
 func NewABCDIMM(eng *sim.Engine, geo mem.Geometry, modules []*dram.Module, hostCfg host.Config) *ABCDIMM {
+	if geo.NumDIMMs <= 0 || geo.NumChannels <= 0 {
+		panic("idc: ABCDIMM requires at least one DIMM and one channel")
+	}
 	targets := make([]int, geo.NumDIMMs)
 	for i := range targets {
 		targets[i] = i
 	}
-	return &ABCDIMM{geo: geo, dram: modules, host: host.New(eng, geo, hostCfg, targets)}
+	firstInCh := make([]int, geo.NumChannels)
+	for ch := range firstInCh {
+		firstInCh[ch] = -1
+	}
+	for d := 0; d < geo.NumDIMMs; d++ {
+		if ch := geo.ChannelOfDIMM(d); firstInCh[ch] < 0 {
+			firstInCh[ch] = d
+		}
+	}
+	return &ABCDIMM{geo: geo, dram: modules,
+		host: host.New(eng, geo, hostCfg, targets), firstInCh: firstInCh}
 }
 
 // Name implements Interconnect.
@@ -56,13 +75,13 @@ func (b *ABCDIMM) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, wri
 		panic("idc: ABCDIMM.Access called for a local address")
 	}
 	noticed := b.notice(at, srcDIMM)
-	b.ctrs.Inc("packets")
+	b.ctrs.Inc(CtrPackets)
 	if write {
-		b.ctrs.Inc("remote.writes")
+		b.ctrs.Inc(CtrRemoteWrites)
 		t := b.host.Forward(noticed, srcDIMM, dst, size)
 		return b.dram[dst].Access(t, addr, size, true)
 	}
-	b.ctrs.Inc("remote.reads")
+	b.ctrs.Inc(CtrRemoteReads)
 	t := b.dram[dst].Access(noticed, addr, size, false)
 	return b.host.Forward(t, dst, srcDIMM, size)
 }
@@ -72,27 +91,28 @@ func (b *ABCDIMM) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, wri
 // each other channel the host replays the data with one broadcast-write
 // transaction, so the cost scales with #channels rather than #DIMMs.
 func (b *ABCDIMM) Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) sim.Time {
-	b.ctrs.Inc("broadcasts")
+	b.ctrs.Inc(CtrBroadcasts)
 	noticed := b.notice(at, srcDIMM)
 	// Broadcast-read on the source channel: DRAM read plus one channel
 	// transaction seen by every DIMM on the channel (and by the host).
 	t := b.dram[srcDIMM].Access(noticed, addr, size, false)
 	_, chEnd := b.host.ChannelAccessStart(t, srcDIMM, size)
-	b.ctrs.Inc("bcast.reads")
+	b.ctrs.Inc(CtrBcastXfers)
 	last := chEnd
 	// The host now holds the data; replay one broadcast-write per other
-	// channel (all DIMMsPerChannel siblings receive each replay at once).
+	// populated channel (all sibling DIMMs receive each replay at once).
 	// Each replay is a host-CPU store stream: it pays the forwarding
-	// thread's copy throughput, not raw channel speed.
+	// thread's copy throughput, not raw channel speed. The replay targets
+	// each channel's actual first DIMM — channels left empty by a
+	// non-multiple NumDIMMs are skipped entirely.
 	t = chEnd + b.host.Config().FwdLatency
 	srcCh := b.geo.ChannelOfDIMM(srcDIMM)
 	for ch := 0; ch < b.geo.NumChannels; ch++ {
-		if ch == srcCh {
+		if ch == srcCh || b.firstInCh[ch] < 0 {
 			continue
 		}
-		firstDIMM := ch * b.geo.DIMMsPerChannel()
-		fin := b.host.ForwardCached(t, firstDIMM, size)
-		b.ctrs.Inc("bcast.writes")
+		fin := b.host.ForwardCached(t, b.firstInCh[ch], size)
+		b.ctrs.Inc(CtrBcastXfers)
 		if fin > last {
 			last = fin
 		}
@@ -104,10 +124,10 @@ func (b *ABCDIMM) Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) 
 // (host-forwarded centralized messages); its broadcast commands do not help
 // the gather phase.
 func (b *ABCDIMM) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
-	b.ctrs.Inc("barriers")
+	b.ctrs.Inc(CtrBarriers)
 	return CentralizedBarrier(arrivals, threadDIMM, intraDIMMSyncCost, 0,
 		func(at sim.Time, src, dst int) sim.Time {
-			b.ctrs.Inc("sync.messages")
+			b.ctrs.Inc(CtrSyncMsgs)
 			noticed := b.notice(at, src)
 			return b.host.Forward(noticed, src, dst, syncMsgBytes)
 		})

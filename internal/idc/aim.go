@@ -78,14 +78,14 @@ func (a *AIM) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, write b
 	if dst == srcDIMM {
 		panic("idc: AIM.Access called for a local address")
 	}
-	a.ctrs.Inc("packets")
+	a.ctrs.Inc(CtrPackets)
 	if write {
-		a.ctrs.Inc("remote.writes")
+		a.ctrs.Inc(CtrRemoteWrites)
 		// Command + data occupy the bus; the owner then commits to DRAM.
 		t := a.busTransfer(at, size)
 		return a.dram[dst].Access(t, addr, size, true)
 	}
-	a.ctrs.Inc("remote.reads")
+	a.ctrs.Inc(CtrRemoteReads)
 	// Command phase on the bus, DRAM read at the owner, then the data
 	// occupies the bus on its way back.
 	cmdEnd := a.busTransfer(at, 0)
@@ -97,18 +97,19 @@ func (a *AIM) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, write b
 // delivers the payload to every snooping DIMM at once (the idealized
 // behaviour the paper grants AIM in Figure 12).
 func (a *AIM) Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) sim.Time {
-	a.ctrs.Inc("broadcasts")
+	a.ctrs.Inc(CtrBroadcasts)
 	dataAt := a.dram[srcDIMM].Access(at, addr, size, false)
+	a.ctrs.Inc(CtrBcastXfers)
 	return a.busTransfer(dataAt, size)
 }
 
 // Barrier implements Interconnect: centralized sync with messages carried
 // on the dedicated bus (no host involvement).
 func (a *AIM) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
-	a.ctrs.Inc("barriers")
+	a.ctrs.Inc(CtrBarriers)
 	return CentralizedBarrier(arrivals, threadDIMM, intraDIMMSyncCost, 0,
 		func(at sim.Time, src, dst int) sim.Time {
-			a.ctrs.Inc("sync.messages")
+			a.ctrs.Inc(CtrSyncMsgs)
 			return a.busTransfer(at, syncMsgBytes)
 		})
 }

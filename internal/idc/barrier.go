@@ -34,9 +34,13 @@ func CentralizedBarrier(arrivals []sim.Time, threadDIMM []int, intraCost sim.Tim
 	var global sim.Time
 	for _, i := range order {
 		d := threadDIMM[i]
+		// Every thread pays the intra-DIMM hand-off to its DIMM master
+		// before anything leaves the DIMM; remote DIMMs then pay the
+		// transport on top. (Omitting intraCost on the remote path made
+		// remote threads arrive cheaper than local ones.)
 		arrive := arrivals[i] + intraCost
 		if d != central {
-			arrive = msg(arrivals[i], d, central)
+			arrive = msg(arrivals[i]+intraCost, d, central)
 		}
 		if arrive > global {
 			global = arrive

@@ -1,0 +1,382 @@
+package idc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// This file adds collective communication (AllReduce / ReduceScatter /
+// AllGather / All-to-All) as a first-class IDC layer. The scheduler is a
+// composable wrapper over any Interconnect: every data movement it issues
+// is an ordinary remote Access (and, for tree distribution, a Broadcast),
+// so each mechanism's own contention model applies — MCN serializes on the
+// host forwarding thread, AIM on the dedicated bus, DIMM-Link on its
+// SerDes links with hybrid inter-group routing. Under an active fault
+// plan the DIMM-Link transport transparently retries, reroutes, and
+// host-falls-back per packet (RouteAt / BroadcastPlanAt), so collectives
+// degrade gracefully without any collective-specific fault handling.
+
+// CollOp enumerates the collective operations.
+type CollOp int
+
+const (
+	CollAllReduce CollOp = iota
+	CollReduceScatter
+	CollAllGather
+	CollAllToAll
+)
+
+// String implements fmt.Stringer.
+func (o CollOp) String() string {
+	switch o {
+	case CollAllReduce:
+		return "allreduce"
+	case CollReduceScatter:
+		return "reduce-scatter"
+	case CollAllGather:
+		return "allgather"
+	case CollAllToAll:
+		return "alltoall"
+	}
+	return fmt.Sprintf("collop(%d)", int(o))
+}
+
+// CollAlgo names a collective schedule.
+type CollAlgo string
+
+const (
+	// AlgoAuto selects per mechanism and topology (SelectAlgo).
+	AlgoAuto CollAlgo = ""
+	// AlgoRing is the bandwidth-optimal ring schedule: N-1 rounds of
+	// neighbor exchanges moving bytes/N chunks.
+	AlgoRing CollAlgo = "ring"
+	// AlgoHalving is recursive halving-doubling: log2(N) rounds of
+	// pairwise exchanges at power-of-two distances. Requires a power-of-two
+	// rank count; the scheduler falls back to ring otherwise.
+	AlgoHalving CollAlgo = "hd"
+	// AlgoTree gathers to a root and redistributes with the mechanism's
+	// native Broadcast — the right shape for host-forwarded transports
+	// (MCN, ABC-DIMM) and AIM's single-transaction broadcast bus.
+	AlgoTree CollAlgo = "tree"
+)
+
+// ValidAlgo reports whether s names a known algorithm (or auto).
+func ValidAlgo(s string) bool {
+	switch CollAlgo(s) {
+	case AlgoAuto, AlgoRing, AlgoHalving, AlgoTree:
+		return true
+	}
+	return false
+}
+
+// SelectAlgo picks the schedule for a mechanism/topology pair. DIMM-Link's
+// point-to-point bridges favor neighbor schedules: ring on chain/ring
+// wiring, halving-doubling on mesh/torus (whose extra links serve the
+// long-distance pairs). The host-forwarded and bus mechanisms gain nothing
+// from neighbor traffic — every transfer crosses the same shared medium —
+// but all three have hardware-assisted broadcast, so they gather to a root
+// and use it.
+func SelectAlgo(mech, topology string) CollAlgo {
+	if mech == "dimm-link" {
+		switch topology {
+		case "mesh", "torus":
+			return AlgoHalving
+		default: // chain, ring
+			return AlgoRing
+		}
+	}
+	return AlgoTree
+}
+
+// CollConfig parameterizes the scheduler.
+type CollConfig struct {
+	Algo CollAlgo
+	// ReduceBytesPerSec is the per-DIMM throughput of folding a received
+	// chunk into the local accumulator (NMP-core vector add).
+	ReduceBytesPerSec float64
+	// IntraCost is the thread <-> DIMM-master hand-off paid on entry and
+	// release, matching the barrier model.
+	IntraCost sim.Time
+}
+
+// DefaultCollConfig returns the evaluated parameters: reduction at 10 GB/s
+// (rank-level NMP vector add) and the same intra-DIMM sync cost as
+// barriers.
+func DefaultCollConfig(algo CollAlgo) CollConfig {
+	return CollConfig{
+		Algo:              algo,
+		ReduceBytesPerSec: 10e9,
+		IntraCost:         intraDIMMSyncCost,
+	}
+}
+
+// Collectives schedules collective operations over an Interconnect. It is
+// not goroutine-safe; like the Interconnect itself it is serialized by the
+// simulation engine.
+type Collectives struct {
+	ic  Interconnect
+	geo mem.Geometry
+	cfg CollConfig
+}
+
+// NewCollectives builds a scheduler over ic.
+func NewCollectives(ic Interconnect, geo mem.Geometry, cfg CollConfig) *Collectives {
+	if !ValidAlgo(string(cfg.Algo)) {
+		panic(fmt.Sprintf("idc: unknown collective algorithm %q", cfg.Algo))
+	}
+	if cfg.ReduceBytesPerSec <= 0 {
+		panic("idc: non-positive collective reduction bandwidth")
+	}
+	return &Collectives{ic: ic, geo: geo, cfg: cfg}
+}
+
+// Algo returns the configured schedule (AlgoAuto never; callers resolve
+// auto before constructing the scheduler via SelectAlgo).
+func (c *Collectives) Algo() CollAlgo { return c.cfg.Algo }
+
+// Run executes op over the calling gang: arrivals[i] is when thread i
+// entered the collective and threadDIMM[i] its home DIMM. bytes is the
+// full per-rank payload (the gradient size for AllReduce). All threads are
+// released at the returned uniform time.
+//
+// Threads first aggregate per DIMM (the DIMM master owns the rank), the
+// distinct DIMMs run the schedule, and the release pays the intra-DIMM
+// hand-off again — mirroring the barrier cost model.
+func (c *Collectives) Run(op CollOp, arrivals []sim.Time, threadDIMM []int, bytes uint32) sim.Time {
+	ctrs := c.ic.Counters()
+	ctrs.Inc(CtrCollectives)
+	ctrs.Add(CtrCollBytes, uint64(bytes))
+
+	ranks, t := c.rankTimes(arrivals, threadDIMM)
+	n := len(ranks)
+	if n > 1 && bytes > 0 {
+		algo := c.cfg.Algo
+		if algo == AlgoAuto {
+			algo = SelectAlgo(c.ic.Name(), "")
+		}
+		if algo == AlgoHalving && n&(n-1) != 0 {
+			algo = AlgoRing // halving-doubling needs a power-of-two rank count
+		}
+		switch {
+		case op == CollAllToAll:
+			// Pairwise rounds are the schedule for every transport: each
+			// rank holds n distinct chunks and no reduction can shrink them.
+			c.pairwise(t, ranks, bytes)
+		case algo == AlgoRing:
+			if op == CollAllReduce || op == CollReduceScatter {
+				c.ringPass(t, ranks, bytes, true)
+			}
+			if op == CollAllReduce || op == CollAllGather {
+				c.ringPass(t, ranks, bytes, false)
+			}
+		case algo == AlgoHalving:
+			if op == CollAllReduce || op == CollReduceScatter {
+				c.halving(t, ranks, bytes)
+			}
+			if op == CollAllReduce || op == CollAllGather {
+				c.doubling(t, ranks, bytes)
+			}
+		default: // AlgoTree
+			c.tree(op, t, ranks, bytes)
+		}
+	}
+	global := t[0]
+	for _, ti := range t[1:] {
+		if ti > global {
+			global = ti
+		}
+	}
+	return global + c.cfg.IntraCost
+}
+
+// rankTimes folds the per-thread arrivals into one start time per distinct
+// DIMM (sorted ascending for a deterministic schedule): the DIMM master
+// launches once its slowest local thread has handed off.
+func (c *Collectives) rankTimes(arrivals []sim.Time, threadDIMM []int) ([]int, []sim.Time) {
+	latest := make(map[int]sim.Time, len(threadDIMM))
+	for i, d := range threadDIMM {
+		if d < 0 {
+			panic("idc: collective thread without a home DIMM")
+		}
+		if cur, ok := latest[d]; !ok || arrivals[i] > cur {
+			latest[d] = arrivals[i]
+		}
+	}
+	ranks := make([]int, 0, len(latest))
+	for d := range latest {
+		ranks = append(ranks, d)
+	}
+	sort.Ints(ranks)
+	t := make([]sim.Time, len(ranks))
+	for i, d := range ranks {
+		t[i] = latest[d] + c.cfg.IntraCost
+	}
+	return ranks, t
+}
+
+// send moves size bytes from rank src to rank dst (distinct DIMMs) as a
+// remote write through the underlying transport, landing at the start of
+// the destination DIMM's address range.
+func (c *Collectives) send(at sim.Time, src, dst int, size uint32) sim.Time {
+	if src == dst || size == 0 {
+		return at
+	}
+	return c.ic.Access(at, src, c.geo.DIMMBase(dst), size, true)
+}
+
+// reduceTime is the cost of folding size received bytes into the local
+// accumulator.
+func (c *Collectives) reduceTime(size uint32) sim.Time {
+	return sim.TransferTime(uint64(size), c.cfg.ReduceBytesPerSec)
+}
+
+// chunkOf splits bytes into n per-rank chunks, rounding up.
+func chunkOf(bytes uint32, n int) uint32 {
+	ch := (bytes + uint32(n) - 1) / uint32(n)
+	if ch == 0 {
+		ch = 1
+	}
+	return ch
+}
+
+// ringPass runs the n-1 neighbor-exchange rounds of the ring schedule over
+// chunks of bytes/n: the reduce-scatter pass folds each received chunk
+// into the accumulator; the allgather pass just stores it.
+func (c *Collectives) ringPass(t []sim.Time, ranks []int, bytes uint32, reduce bool) {
+	n := len(ranks)
+	chunk := chunkOf(bytes, n)
+	arrive := make([]sim.Time, n)
+	for s := 0; s < n-1; s++ {
+		c.ic.Counters().Inc(CtrCollSteps)
+		for i := 0; i < n; i++ {
+			j := (i + 1) % n
+			done := c.send(t[i], ranks[i], ranks[j], chunk)
+			if reduce {
+				done += c.reduceTime(chunk)
+			}
+			arrive[j] = done
+		}
+		for i := 0; i < n; i++ {
+			if arrive[i] > t[i] {
+				t[i] = arrive[i]
+			}
+		}
+	}
+}
+
+// halving runs the log2(n) recursive-halving rounds of a reduce-scatter:
+// round r exchanges bytes>>(r+1) with the partner at index distance
+// n>>(r+1), folding the received half.
+func (c *Collectives) halving(t []sim.Time, ranks []int, bytes uint32) {
+	n := len(ranks)
+	arrive := make([]sim.Time, n)
+	for dist := n >> 1; dist >= 1; dist >>= 1 {
+		c.ic.Counters().Inc(CtrCollSteps)
+		vol := bytes / uint32(n/dist)
+		if vol == 0 {
+			vol = 1
+		}
+		for i := 0; i < n; i++ {
+			p := i ^ dist
+			arrive[p] = c.send(t[i], ranks[i], ranks[p], vol) + c.reduceTime(vol)
+		}
+		for i := 0; i < n; i++ {
+			if arrive[i] > t[i] {
+				t[i] = arrive[i]
+			}
+		}
+	}
+}
+
+// doubling runs the log2(n) recursive-doubling rounds of an allgather:
+// round r exchanges the bytes/n * 2^r accumulated so far with the partner
+// at index distance 2^r.
+func (c *Collectives) doubling(t []sim.Time, ranks []int, bytes uint32) {
+	n := len(ranks)
+	arrive := make([]sim.Time, n)
+	for dist := 1; dist < n; dist <<= 1 {
+		c.ic.Counters().Inc(CtrCollSteps)
+		vol := chunkOf(bytes, n) * uint32(dist)
+		for i := 0; i < n; i++ {
+			p := i ^ dist
+			arrive[p] = c.send(t[i], ranks[i], ranks[p], vol)
+		}
+		for i := 0; i < n; i++ {
+			if arrive[i] > t[i] {
+				t[i] = arrive[i]
+			}
+		}
+	}
+}
+
+// tree gathers every rank's payload at the root and redistributes with the
+// mechanism's native Broadcast (AllReduce / AllGather) or with per-rank
+// scatter writes (ReduceScatter). The root folds incoming payloads in
+// arrival order — the gather serializes on the shared medium anyway, which
+// is exactly the host-forwarding bottleneck this schedule models.
+func (c *Collectives) tree(op CollOp, t []sim.Time, ranks []int, bytes uint32) {
+	n := len(ranks)
+	root := 0
+	gatherSize := bytes
+	if op == CollAllGather {
+		gatherSize = chunkOf(bytes, n) // each rank contributes one chunk
+	}
+	in := make([]sim.Time, 0, n-1)
+	for i := 1; i < n; i++ {
+		c.ic.Counters().Inc(CtrCollSteps)
+		in = append(in, c.send(t[i], ranks[i], ranks[root], gatherSize))
+	}
+	sort.Slice(in, func(a, b int) bool { return in[a] < in[b] })
+	cur := t[root]
+	for _, a := range in {
+		if a > cur {
+			cur = a
+		}
+		if op != CollAllGather {
+			cur += c.reduceTime(gatherSize)
+		}
+	}
+	switch op {
+	case CollReduceScatter:
+		chunk := chunkOf(bytes, n)
+		c.ic.Counters().Inc(CtrCollSteps)
+		t[root] = cur
+		for i := 1; i < n; i++ {
+			t[i] = c.send(cur, ranks[root], ranks[i], chunk)
+		}
+	default: // AllReduce, AllGather: one hardware broadcast of the result
+		c.ic.Counters().Inc(CtrCollSteps)
+		fin := c.ic.Broadcast(cur, ranks[root], c.geo.DIMMBase(ranks[root]), bytes)
+		for i := range t {
+			t[i] = fin
+		}
+	}
+}
+
+// pairwise runs the n-1 shifted-exchange rounds of all-to-all: in round r
+// every rank i sends its chunk for rank (i+r) mod n.
+func (c *Collectives) pairwise(t []sim.Time, ranks []int, bytes uint32) {
+	n := len(ranks)
+	chunk := chunkOf(bytes, n)
+	arrive := make([]sim.Time, n)
+	for r := 1; r < n; r++ {
+		c.ic.Counters().Inc(CtrCollSteps)
+		for i := range arrive {
+			arrive[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			j := (i + r) % n
+			if done := c.send(t[i], ranks[i], ranks[j], chunk); done > arrive[j] {
+				arrive[j] = done
+			}
+		}
+		for i := 0; i < n; i++ {
+			if arrive[i] > t[i] {
+				t[i] = arrive[i]
+			}
+		}
+	}
+}

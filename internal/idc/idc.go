@@ -72,19 +72,32 @@ func (f *Fabric) AccessDRAM(at sim.Time, dimm int, addr uint64, size uint32, wri
 // Counter names shared across mechanisms, consumed by the energy model and
 // the experiment reports.
 const (
-	CtrLinkBytes    = "link.bytes"    // bytes traversing SerDes links (per hop)
-	CtrBusBytes     = "hostbus.bytes" // bytes moved over host memory channels
-	CtrDedBusBytes  = "dedbus.bytes"  // bytes on AIM's dedicated bus
-	CtrForwards     = "host.forwards" // packets forwarded by the host CPU
-	CtrPolls        = "host.polls"    // polling register reads issued by the host
-	CtrPackets      = "packets"       // IDC packets injected
-	CtrRemoteReads  = "remote.reads"  // remote read transactions
-	CtrRemoteWrites = "remote.writes" // remote write transactions
-	CtrBroadcasts   = "broadcasts"    // broadcast transactions
-	CtrBarriers     = "barriers"      // barrier episodes
-	CtrSyncMsgs     = "sync.messages" // synchronization messages exchanged
-	CtrRetries      = "link.retries"  // DLL-layer retransmissions
-	CtrFwdedBytes   = "fwd.bytes"     // bytes that crossed the host on behalf of IDC
+	CtrLinkBytes    = "link.bytes"      // bytes traversing SerDes links (per hop)
+	CtrBusBytes     = "hostbus.bytes"   // bytes moved over host memory channels
+	CtrDedBusBytes  = "dedbus.bytes"    // bytes on AIM's dedicated bus
+	CtrForwards     = "host.forwards"   // packets forwarded by the host CPU
+	CtrPolls        = "host.polls"      // polling register reads issued by the host
+	CtrPackets      = "packets"         // IDC packets injected
+	CtrRemoteReads  = "remote.reads"    // remote read transactions
+	CtrRemoteWrites = "remote.writes"   // remote write transactions
+	CtrBroadcasts   = "broadcasts"      // broadcast transactions
+	CtrBarriers     = "barriers"        // barrier episodes
+	CtrSyncMsgs     = "sync.messages"   // synchronization messages exchanged
+	CtrRetries      = "link.retries"    // DLL-layer retransmissions
+	CtrFwdedBytes   = "fwd.bytes"       // bytes that crossed the host on behalf of IDC
+	CtrBcastXfers   = "bcast.transfers" // transport transactions carrying a broadcast payload
+
+	// DIMM-Link-specific transport counters (internal/core uses the same
+	// constants so that reports and tests see one taxonomy).
+	CtrProxyRegs  = "proxy.registrations" // remote requests registered at a polling proxy
+	CtrInterGroup = "intergroup.accesses" // accesses that crossed a DL group boundary
+	CtrCXLBytes   = "cxl.bytes"           // bytes carried over the inter-blade CXL path
+
+	// Collective-operation counters (the Collectives scheduler layers these
+	// on top of whatever transport counters the mechanism itself records).
+	CtrCollectives = "collectives"      // collective episodes executed
+	CtrCollSteps   = "collective.steps" // algorithm rounds across all episodes
+	CtrCollBytes   = "collective.bytes" // payload bytes handed to collectives
 
 	// Fault-injection counters (populated only when a fault plan is active;
 	// see internal/fault and the core DLL).

@@ -139,10 +139,29 @@ func TestABCBroadcastScalesWithChannelsNotDIMMs(t *testing.T) {
 	// = 4 channel transactions; MCN-BC needs 1 read + 7 writes.
 	b, _ := newABC(8, 4)
 	b.Broadcast(0, 0, b.geo.DIMMBase(0), 1024)
-	reads := b.Counters().Get("bcast.reads")
-	writes := b.Counters().Get("bcast.writes")
-	if reads != 1 || writes != 3 {
-		t.Fatalf("ABC broadcast transactions: %d reads, %d writes", reads, writes)
+	if got := b.Counters().Get(CtrBcastXfers); got != 4 {
+		t.Fatalf("ABC broadcast transactions = %d, want 4 (1 read + 3 channel replays)", got)
+	}
+}
+
+func TestABCBroadcastNonMultipleDIMMs(t *testing.T) {
+	// Regression: 6 DIMMs over 4 channels (ceil layout: {0,1} {2,3} {4,5}
+	// and one empty channel). The replay targets used to be computed as
+	// ch*DIMMsPerChannel with a floor DPC, aiming at the wrong modules and
+	// at slots beyond the last DIMM; now each populated channel's actual
+	// first DIMM is targeted and the empty channel is skipped.
+	b, _ := newABC(6, 4)
+	if got := b.Counters().Get(CtrBcastXfers); got != 0 {
+		t.Fatalf("fresh mechanism has %d bcast transfers", got)
+	}
+	b.Broadcast(0, 0, b.geo.DIMMBase(0), 1024)
+	if got := b.Counters().Get(CtrBcastXfers); got != 3 {
+		t.Fatalf("broadcast transfers = %d, want 3 (1 read + 2 populated-channel replays)", got)
+	}
+	for d := 0; d < 6; d++ {
+		if ch := b.geo.ChannelOfDIMM(d); ch < 0 || ch >= b.geo.NumChannels {
+			t.Fatalf("DIMM %d mapped to out-of-range channel %d", d, ch)
+		}
 	}
 }
 
@@ -181,10 +200,38 @@ func TestCentralizedBarrier(t *testing.T) {
 	if msgs != 4 {
 		t.Fatalf("messages = %d, want 4", msgs)
 	}
-	// Last arrival 900 -> gather message lands at 950 (global); individual
-	// release 950+50 = 1000; + intra 10 = 1010.
-	if release != 1010 {
-		t.Fatalf("release = %d, want 1010", release)
+	// Last arrival 900 pays the intra-DIMM hand-off (10) before its gather
+	// message launches -> lands at 960 (global); individual release
+	// 960+50 = 1010; + intra 10 = 1020.
+	if release != 1020 {
+		t.Fatalf("release = %d, want 1020", release)
+	}
+}
+
+func TestCentralizedBarrierRemoteThreadsPayIntraCost(t *testing.T) {
+	// Regression: remote threads' sync messages used to launch at the raw
+	// arrival time, skipping the intra-DIMM hand-off that central-DIMM
+	// threads were charged.
+	const intra = 10
+	arrivals := []sim.Time{100, 900, 500}
+	var launches []sim.Time
+	CentralizedBarrier(arrivals, []int{0, 1, 2}, intra, 0,
+		func(at sim.Time, src, dst int) sim.Time {
+			if src != 0 { // gather direction only
+				launches = append(launches, at)
+			}
+			return at + 50
+		})
+	// Gather messages launch in arrival order for the two remote threads
+	// (arrivals 500 and 900), each after the intra-DIMM hand-off.
+	want := []sim.Time{500 + intra, 900 + intra}
+	if len(launches) != len(want) {
+		t.Fatalf("gather launches = %d, want %d", len(launches), len(want))
+	}
+	for i, got := range launches {
+		if got != want[i] {
+			t.Fatalf("gather message %d launched at %d, want arrival+intra %d", i, got, want[i])
+		}
 	}
 }
 
@@ -204,5 +251,45 @@ func TestBarrierOrderingAcrossMechanisms(t *testing.T) {
 func TestMaxBarrier(t *testing.T) {
 	if MaxBarrier([]sim.Time{3, 9, 1}) != 9 || MaxBarrier(nil) != 0 {
 		t.Fatal("MaxBarrier wrong")
+	}
+}
+
+// TestCounterTaxonomyUnified drives every baseline mechanism through the
+// full Interconnect surface and asserts all recorded counter names come
+// from the shared Ctr* taxonomy, with the same core set populated by each
+// mechanism for the same operations.
+func TestCounterTaxonomyUnified(t *testing.T) {
+	allowed := map[string]bool{
+		CtrPackets: true, CtrRemoteReads: true, CtrRemoteWrites: true,
+		CtrBroadcasts: true, CtrBcastXfers: true, CtrBarriers: true,
+		CtrSyncMsgs: true, CtrDedBusBytes: true, CtrLinkBytes: true,
+		CtrCollectives: true, CtrCollSteps: true, CtrCollBytes: true,
+	}
+	required := []string{
+		CtrPackets, CtrRemoteReads, CtrRemoteWrites,
+		CtrBroadcasts, CtrBcastXfers, CtrBarriers, CtrSyncMsgs,
+	}
+	drive := func(ic Interconnect, geo mem.Geometry) {
+		ic.Access(0, 0, geo.DIMMBase(1), 256, false)
+		ic.Access(0, 0, geo.DIMMBase(1), 256, true)
+		ic.Broadcast(0, 0, geo.DIMMBase(0), 256)
+		ic.Barrier([]sim.Time{0, 0, 0, 0}, []int{0, 1, 2, 3})
+	}
+	geo := geoN(8, 4)
+	mcn, _ := newMCN(8, 4)
+	aim := newAIM(8, 4)
+	abc, _ := newABC(8, 4)
+	for _, ic := range []Interconnect{mcn, aim, abc} {
+		drive(ic, geo)
+		for _, name := range ic.Counters().Names() {
+			if !allowed[name] {
+				t.Errorf("%s records counter %q outside the shared taxonomy", ic.Name(), name)
+			}
+		}
+		for _, name := range required {
+			if ic.Counters().Get(name) == 0 {
+				t.Errorf("%s did not record %q for the same operations", ic.Name(), name)
+			}
+		}
 	}
 }

@@ -69,16 +69,16 @@ func (m *MCN) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, write b
 		panic("idc: MCN.Access called for a local address")
 	}
 	noticed := m.notice(at, srcDIMM)
-	m.ctrs.Inc("packets")
+	m.ctrs.Inc(CtrPackets)
 	if write {
-		m.ctrs.Inc("remote.writes")
+		m.ctrs.Inc(CtrRemoteWrites)
 		// The host CPU copies the payload from the source DIMM's buffer
 		// into the destination DIMM — a forwarding episode on the (single)
 		// host forwarding thread, occupying both channels.
 		t := m.host.Forward(noticed, srcDIMM, dst, size)
 		return m.dram[dst].Access(t, addr, size, true)
 	}
-	m.ctrs.Inc("remote.reads")
+	m.ctrs.Inc(CtrRemoteReads)
 	// Host loads from the remote DIMM's DRAM, then stores into the
 	// requester's DIMM through its cache hierarchy.
 	t := m.dram[dst].Access(noticed, addr, size, false)
@@ -89,19 +89,21 @@ func (m *MCN) Access(at sim.Time, srcDIMM int, addr uint64, size uint32, write b
 // from the source and writes it to every other DIMM, one channel transfer
 // each.
 func (m *MCN) Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) sim.Time {
-	m.ctrs.Inc("broadcasts")
+	m.ctrs.Inc(CtrBroadcasts)
 	noticed := m.notice(at, srcDIMM)
 	// The host reads the payload once, then replays it to every other DIMM
 	// — one serialized forwarding episode per destination (MCN-BC's
 	// fundamental cost).
 	t := m.dram[srcDIMM].Access(noticed, addr, size, false)
 	t = m.host.ReadFrom(t, srcDIMM, size)
+	m.ctrs.Inc(CtrBcastXfers)
 	last := t
 	for d := 0; d < m.geo.NumDIMMs; d++ {
 		if d == srcDIMM {
 			continue
 		}
 		fin := m.host.ForwardCached(t, d, size)
+		m.ctrs.Inc(CtrBcastXfers)
 		if fin > last {
 			last = fin
 		}
@@ -112,10 +114,10 @@ func (m *MCN) Broadcast(at sim.Time, srcDIMM int, addr uint64, size uint32) sim.
 // Barrier implements Interconnect via host-forwarded centralized sync: each
 // DIMM master's message must be polled and copied by the host.
 func (m *MCN) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
-	m.ctrs.Inc("barriers")
+	m.ctrs.Inc(CtrBarriers)
 	return CentralizedBarrier(arrivals, threadDIMM, intraDIMMSyncCost, 0,
 		func(at sim.Time, src, dst int) sim.Time {
-			m.ctrs.Inc("sync.messages")
+			m.ctrs.Inc(CtrSyncMsgs)
 			noticed := m.notice(at, src)
 			return m.host.Forward(noticed, src, dst, syncMsgBytes)
 		})

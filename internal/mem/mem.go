@@ -82,8 +82,16 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
-// DIMMsPerChannel returns the DPC count.
-func (g Geometry) DIMMsPerChannel() int { return g.NumDIMMs / g.NumChannels }
+// DIMMsPerChannel returns the DPC count: how many DIMM slots the
+// channel-major layout assigns per channel. Ceiling division keeps every
+// DIMM inside a valid channel when NumDIMMs is not a multiple of
+// NumChannels (floor division mapped trailing DIMMs to out-of-range
+// channels); Validate still rejects such geometries for built systems,
+// but derived code paths (broadcast channel layout, tooling) must not
+// misattribute DIMMs on the lenient ones.
+func (g Geometry) DIMMsPerChannel() int {
+	return (g.NumDIMMs + g.NumChannels - 1) / g.NumChannels
+}
 
 // DIMMOf returns the DIMM owning addr.
 func (g Geometry) DIMMOf(addr uint64) int {
@@ -95,7 +103,9 @@ func (g Geometry) DIMMOf(addr uint64) int {
 }
 
 // ChannelOfDIMM returns the host memory channel the DIMM sits on. DIMMs are
-// laid out channel-major: channel c holds DIMMs [c*DPC, (c+1)*DPC).
+// laid out channel-major: channel c holds DIMMs [c*DPC, (c+1)*DPC). With a
+// non-multiple DIMM count trailing channels may be short or empty, but the
+// result is always in [0, NumChannels).
 func (g Geometry) ChannelOfDIMM(dimm int) int { return dimm / g.DIMMsPerChannel() }
 
 // ChannelOf returns the channel owning addr.

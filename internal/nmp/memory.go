@@ -1,7 +1,11 @@
 package nmp
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
+	"repro/internal/cores"
+	"repro/internal/idc"
 	"repro/internal/sim"
 )
 
@@ -107,6 +111,27 @@ func (m *nmpMemory) Broadcast(at sim.Time, coreID int, addr uint64, size uint32)
 // Barrier implements cores.Memory.
 func (m *nmpMemory) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 	return m.sys.IC.Barrier(arrivals, threadDIMM)
+}
+
+// Collective implements cores.Memory: the exchange runs on the IDC
+// mechanism's collective scheduler.
+func (m *nmpMemory) Collective(op cores.CollectiveOp, arrivals []sim.Time, threadDIMM []int, bytes uint32) sim.Time {
+	return m.sys.Coll.Run(idcCollOp(op), arrivals, threadDIMM, bytes)
+}
+
+// idcCollOp maps the core-model op onto the IDC scheduler's.
+func idcCollOp(op cores.CollectiveOp) idc.CollOp {
+	switch op {
+	case cores.CollAllReduce:
+		return idc.CollAllReduce
+	case cores.CollReduceScatter:
+		return idc.CollReduceScatter
+	case cores.CollAllGather:
+		return idc.CollAllGather
+	case cores.CollAllToAll:
+		return idc.CollAllToAll
+	}
+	panic(fmt.Sprintf("nmp: unknown collective op %v", op))
 }
 
 // FlushCaches models the kernel-completion cache flush (Section III-E):
@@ -241,4 +266,20 @@ func (m *hostMemory) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 		}
 	}
 	return max + m.sys.Cfg.HostBarrierLat
+}
+
+// Collective implements cores.Memory for the host baseline: all ranks
+// share one coherent memory, so the exchange is a barrier, one pass of the
+// payload over the (aggregate) channel buses to read every peer's
+// contribution, and a release fence.
+func (m *hostMemory) Collective(op cores.CollectiveOp, arrivals []sim.Time, threadDIMM []int, bytes uint32) sim.Time {
+	var max sim.Time
+	for _, a := range arrivals {
+		if a > max {
+			max = a
+		}
+	}
+	cfg := m.sys.Cfg
+	bw := cfg.Host.ChannelBytesPerSec * float64(cfg.Geo.NumChannels)
+	return max + cfg.HostBarrierLat + sim.TransferTime(uint64(bytes), bw) + cfg.HostBarrierLat
 }

@@ -65,6 +65,11 @@ type Config struct {
 	DL  core.Config
 	AIM idc.AIMConfig
 
+	// CollAlgo overrides the collective schedule (ring / hd / tree) for
+	// NMP systems; AlgoAuto (the default) selects per mechanism and DL
+	// topology via idc.SelectAlgo.
+	CollAlgo idc.CollAlgo
+
 	// Metrics optionally attaches the observability layer to every
 	// instrumentable component (DL network links, host forwarding, DL
 	// controllers). nil — the default — records nothing and leaves the
@@ -134,6 +139,10 @@ type System struct {
 	IC        idc.Interconnect
 	Link      *core.Link // non-nil only for MechDIMMLink
 	hostModel *host.Host
+
+	// Coll schedules collective operations over IC; nil for the host
+	// baseline (whose shared memory needs no transport schedule).
+	Coll *idc.Collectives
 
 	memory  cores.Memory
 	nmpMem  *nmpMemory // base memory for the end-of-kernel cache flush
@@ -205,6 +214,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Mech == MechHostCPU {
 		s.memory = newHostMemory(s)
 	} else {
+		algo := cfg.CollAlgo
+		if algo == idc.AlgoAuto {
+			algo = idc.SelectAlgo(string(cfg.Mech), string(cfg.DL.Topology))
+		}
+		s.Coll = idc.NewCollectives(s.IC, cfg.Geo, idc.DefaultCollConfig(algo))
 		s.nmpMem = newNMPMemory(s)
 		s.memory = s.nmpMem
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/host"
+	"repro/internal/idc"
 	"repro/internal/nmp"
 	"repro/internal/workloads"
 )
@@ -74,6 +75,9 @@ type Spec struct {
 	Polling    string  `json:"polling,omitempty"`
 	CXL        bool    `json:"cxl,omitempty"`
 	Broadcast  bool    `json:"broadcast,omitempty"`
+	// Coll forces the collective algorithm ("ring", "hd", "tree"); empty
+	// selects per-mechanism/topology auto-selection (idc.SelectAlgo).
+	Coll string `json:"coll,omitempty"`
 
 	// Experiment fields (Kind == KindExp). Exp is an experiment id, a
 	// comma-separated list of ids, or "all". Full selects paper-scale
@@ -115,6 +119,7 @@ var workloadAliases = map[string]string{
 	"pr": "pr", "pagerank": "pr", "sssp": "sssp", "spmv": "spmv",
 	"tspow": "tspow", "ts": "tspow", "p2p": "p2p", "sync": "sync",
 	"gemv": "gemv", "histo": "histo", "histogram": "histo",
+	"train": "train",
 }
 
 // CanonicalWorkload resolves a workload name or alias to its canonical
@@ -221,11 +226,14 @@ func (s Spec) Normalized() (Spec, error) {
 				return Spec{}, err
 			}
 		}
+		if !idc.ValidAlgo(n.Coll) {
+			return Spec{}, fmt.Errorf("spec: unknown collective algorithm %q", n.Coll)
+		}
 	case KindExp:
 		n.Mech, n.DIMMs, n.Channels, n.Workload = "", 0, 0, ""
 		n.Scale, n.EdgeFactor, n.Iters = 0, 0, 0
 		n.Topology, n.LinkBW, n.Polling = "", 0, ""
-		n.CXL, n.Broadcast = false, false
+		n.CXL, n.Broadcast, n.Coll = false, false, ""
 		if n.Exp == "" {
 			return Spec{}, fmt.Errorf("spec: exp kind needs an experiment id (or \"all\")")
 		}
@@ -254,8 +262,8 @@ func (s Spec) Canonical() ([]byte, error) {
 		fmt.Fprintf(&b, "mech=%s\ndimms=%d\nchannels=%d\nworkload=%s\n",
 			n.Mech, n.DIMMs, n.Channels, n.Workload)
 		fmt.Fprintf(&b, "scale=%d\nef=%d\niters=%d\n", n.Scale, n.EdgeFactor, n.Iters)
-		fmt.Fprintf(&b, "topology=%s\nlinkbw=%s\npolling=%s\ncxl=%t\nbroadcast=%t\n",
-			n.Topology, strconv.FormatFloat(n.LinkBW, 'g', -1, 64), n.Polling, n.CXL, n.Broadcast)
+		fmt.Fprintf(&b, "topology=%s\nlinkbw=%s\npolling=%s\ncxl=%t\nbroadcast=%t\ncoll=%s\n",
+			n.Topology, strconv.FormatFloat(n.LinkBW, 'g', -1, 64), n.Polling, n.CXL, n.Broadcast, n.Coll)
 	case KindExp:
 		fmt.Fprintf(&b, "exp=%s\nfull=%t\n", n.Exp, n.Full)
 	}
@@ -318,6 +326,7 @@ func (s Spec) Config() (nmp.Config, error) {
 		}
 		cfg.Host.Mode = mode
 	}
+	cfg.CollAlgo = idc.CollAlgo(n.Coll)
 	return cfg, nil
 }
 
@@ -364,6 +373,8 @@ func (s Spec) BuildWorkload(sys *nmp.System) (workloads.Workload, error) {
 		return w, nil
 	case "histo":
 		return workloads.NewHistogram(1<<uint(n.Scale+4), 256, n.Seed), nil
+	case "train":
+		return workloads.NewTrain(1<<uint(n.Scale), n.Iters, 256, n.Seed), nil
 	}
 	return nil, fmt.Errorf("spec: unknown workload %q", n.Workload)
 }

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/idc"
+	"repro/internal/nmp"
 )
 
 // TestNormalizeDefaults checks the zero-value sim spec resolves to the
@@ -144,7 +147,7 @@ func TestCanonicalDeterministic(t *testing.T) {
 	}
 	want := "kind=sim\nmech=dimm-link\ndimms=8\nchannels=4\nworkload=hotspot\n" +
 		"scale=14\nef=8\niters=4\ntopology=chain\nlinkbw=1.25e+10\npolling=\n" +
-		"cxl=false\nbroadcast=false\nseed=3\nfault=\nfaultseed=1\n"
+		"cxl=false\nbroadcast=false\ncoll=\nseed=3\nfault=\nfaultseed=1\n"
 	if string(a) != want {
 		t.Errorf("canonical encoding:\n got %q\nwant %q", a, want)
 	}
@@ -254,5 +257,64 @@ func TestCanonicalWorkloadCaseInsensitive(t *testing.T) {
 		return err.Error()
 	}(), "warp") {
 		t.Error("error does not name the offending workload")
+	}
+}
+
+func TestCollFieldNormalization(t *testing.T) {
+	if _, err := (Spec{Kind: KindSim, Coll: "butterfly"}).Normalized(); err == nil {
+		t.Fatal("invalid collective algorithm accepted")
+	}
+	for _, algo := range []string{"", "ring", "hd", "tree"} {
+		n, err := (Spec{Kind: KindSim, Coll: algo}).Normalized()
+		if err != nil {
+			t.Fatalf("coll=%q: %v", algo, err)
+		}
+		if n.Coll != algo {
+			t.Fatalf("coll=%q normalized to %q", algo, n.Coll)
+		}
+	}
+	// The algorithm is part of the content address.
+	h1, _ := Spec{Kind: KindSim, Coll: "ring"}.Hash()
+	h2, _ := Spec{Kind: KindSim, Coll: "tree"}.Hash()
+	h3, _ := Spec{Kind: KindSim}.Hash()
+	if h1 == h2 || h1 == h3 {
+		t.Fatal("collective algorithm does not perturb the hash")
+	}
+	// Exp-kind specs zero the sim-only field.
+	n, err := (Spec{Kind: KindExp, Exp: "allreduce", Coll: "ring"}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Coll != "" {
+		t.Fatalf("exp spec kept coll=%q", n.Coll)
+	}
+	cfg, err := (Spec{Kind: KindSim, Coll: "hd"}).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CollAlgo != idc.AlgoHalving {
+		t.Fatalf("Config CollAlgo = %q", cfg.CollAlgo)
+	}
+}
+
+func TestTrainWorkloadSpec(t *testing.T) {
+	s, err := (Spec{Kind: KindSim, Workload: "train", Scale: 10, Iters: 2}).Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := nmp.MustNewSystem(cfg)
+	w, err := s.BuildWorkload(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "TRAIN" {
+		t.Fatalf("workload %q", w.Name())
+	}
+	if _, _, err := w.Run(sys, sys.DefaultPlacement(), false); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -85,6 +85,12 @@ func (r *Recorder) Barrier(arrivals []sim.Time, threadDIMM []int) sim.Time {
 	return r.Inner.Barrier(arrivals, threadDIMM)
 }
 
+// Collective implements cores.Memory (pass-through: like barriers,
+// collective rendezvous have no per-thread address stream to record).
+func (r *Recorder) Collective(op cores.CollectiveOp, arrivals []sim.Time, threadDIMM []int, bytes uint32) sim.Time {
+	return r.Inner.Collective(op, arrivals, threadDIMM, bytes)
+}
+
 // Encode writes the trace in a line-oriented text format:
 //
 //	#threads N

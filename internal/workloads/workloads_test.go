@@ -364,3 +364,31 @@ func TestHistogramAcrossMechanisms(t *testing.T) {
 		t.Fatalf("histogram diverges across mechanisms: %v", chks)
 	}
 }
+
+func TestTrainMatchesReferenceAcrossMechanisms(t *testing.T) {
+	mk := func() *Train { return NewTrain(1<<10, 3, 64, 7) }
+	ref := hashFloats(ReferenceTrain(mk()))
+	for _, mech := range []nmp.Mechanism{nmp.MechHostCPU, nmp.MechDIMMLink, nmp.MechMCN, nmp.MechAIM, nmp.MechABCDIMM} {
+		s := sys4(mech)
+		res, got, err := mk().Run(s, s.DefaultPlacement(), false)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if got != ref {
+			t.Fatalf("%s: checksum %x, reference %x (thread-count dependence?)", mech, got, ref)
+		}
+		if res.Makespan <= 0 {
+			t.Fatalf("%s: makespan %d", mech, res.Makespan)
+		}
+	}
+	// Different worker count, same model: the quantized reduction must be
+	// partition-invariant.
+	s8 := nmp.MustNewSystem(nmp.DefaultConfig(8, 4, nmp.MechDIMMLink))
+	_, got, err := mk().Run(s8, s8.DefaultPlacement(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ref {
+		t.Fatalf("8-DIMM checksum %x, reference %x", got, ref)
+	}
+}
