@@ -26,6 +26,9 @@ go test -race -short ./...
 echo "== go test -run Fuzz ./internal/core/ (fuzz seed corpus)"
 go test -run Fuzz ./internal/core/
 
+echo "== go test -run Fuzz ./internal/ingest/ (trace decoder fuzz seed corpus)"
+go test -run Fuzz ./internal/ingest/
+
 echo "== go test -race -run Sharded ./... (parallel-kernel invariance under the race detector)"
 go test -race -run Sharded ./...
 
@@ -67,6 +70,26 @@ if [ "${1:-}" != "quick" ]; then
 	"$tmp/dlsim" -workload train -scale 12 -iters 2 -shards 4 >"$tmp/golden_train_shards.txt"
 	cmp testdata/golden_dlsim_train.txt "$tmp/golden_train_shards.txt"
 
+	echo "== external trace golden (dlsim -tracein + traffic matrix, shards-invariant)"
+	"$tmp/dlsim" -tracein testdata/external.trace -traffic "$tmp/traffic_external.csv" \
+		>"$tmp/golden_tracein.txt"
+	cmp testdata/golden_dlsim_tracein.txt "$tmp/golden_tracein.txt"
+	cmp testdata/golden_traffic_external.csv "$tmp/traffic_external.csv"
+	"$tmp/dlsim" -tracein testdata/external.trace -shards 4 >"$tmp/golden_tracein_shards.txt"
+	cmp testdata/golden_dlsim_tracein.txt "$tmp/golden_tracein_shards.txt"
+
+	echo "== tracegen round trip (text and binary encodings replay identically)"
+	go build -o "$tmp/tracegen" ./cmd/tracegen
+	"$tmp/tracegen" -workload bfs -scale 10 -out "$tmp/rec.trace" 2>/dev/null
+	"$tmp/tracegen" -workload bfs -scale 10 -format binary -out "$tmp/rec.btrace" 2>/dev/null
+	"$tmp/dlsim" -tracein "$tmp/rec.trace" >"$tmp/rec_text.txt"
+	"$tmp/dlsim" -tracein "$tmp/rec.btrace" >"$tmp/rec_bin.txt"
+	cmp "$tmp/rec_text.txt" "$tmp/rec_bin.txt"
+
+	echo "== bfs traffic-matrix golden (Table IV workload src x dst heatmap)"
+	"$tmp/dlsim" -workload bfs -scale 12 -traffic "$tmp/traffic_bfs.csv" >/dev/null
+	cmp testdata/golden_traffic_bfs.csv "$tmp/traffic_bfs.csv"
+
 	echo "== dlperf quick smoke (writes BENCH_ci.json, exits non-zero on a dead suite)"
 	go run ./cmd/dlperf -label ci -quick -o "$tmp" >/dev/null
 	test -s "$tmp/BENCH_ci.json"
@@ -77,10 +100,10 @@ if [ "${1:-}" != "quick" ]; then
 	echo "== go test -race ./internal/serve/... (service + cluster layers under the race detector)"
 	go test -race ./internal/serve/...
 
-	echo "== dlserve end-to-end smoke (HTTP result == CLI stdout, cache hit, graceful drain)"
+	echo "== dlserve end-to-end smoke (HTTP result == CLI stdout, cache hit, trace upload, graceful drain)"
 	go build -o "$tmp/dlserve" ./cmd/dlserve
 	go build -o "$tmp/dlsmoke" ./cmd/dlsmoke
-	"$tmp/dlsmoke" -serve "$tmp/dlserve" -sim "$tmp/dlsim" >/dev/null
+	"$tmp/dlsmoke" -serve "$tmp/dlserve" -sim "$tmp/dlsim" -tracein testdata/external.trace >/dev/null
 
 	echo "== dlserve cluster chaos smoke (3 nodes, SIGKILL mid-job, requeue + byte-identity)"
 	"$tmp/dlsmoke" -serve "$tmp/dlserve" -sim "$tmp/dlsim" -cluster 3 -chaos >/dev/null

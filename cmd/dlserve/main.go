@@ -59,6 +59,7 @@ func main() {
 		drainGrace = flag.Duration("drain", 2*time.Minute, "max time to wait for in-flight jobs on shutdown before canceling them")
 		storeDir   = flag.String("store", "", "disk-spill result store directory (content-addressed, survives restarts)")
 		storeMax   = flag.Int("storemax", 4096, "disk store bound (entries, evicted oldest-first)")
+		tracesDir  = flag.String("traces", "", "uploaded-trace blob store directory (default: <store>/traces when -store is set, else a temp dir)")
 		peers      = flag.String("peers", "", "comma-separated cluster node base URLs, this node included (enables cluster routing)")
 		selfURL    = flag.String("self", "", "this node's base URL as peers address it (default http://<listen addr>)")
 		vnodes     = flag.Int("vnodes", 0, "consistent-hash virtual nodes per ring member (0 = default)")
@@ -83,11 +84,33 @@ func main() {
 		logger.Printf("dlserve: disk store %s (%d entries)", st.Dir(), st.Len())
 	}
 
+	// Traces always get a blob store: next to the result store when one is
+	// configured, otherwise in a throwaway temp dir (uploads then live for
+	// the process lifetime only, which still serves the common
+	// upload-then-submit flow).
+	tdir := *tracesDir
+	if tdir == "" {
+		if *storeDir != "" {
+			tdir = *storeDir + "/traces"
+		} else {
+			var err error
+			tdir, err = os.MkdirTemp("", "dlserve-traces-")
+			if err != nil {
+				logger.Fatalf("dlserve: traces: %v", err)
+			}
+		}
+	}
+	traces, err := store.OpenBlobs(tdir)
+	if err != nil {
+		logger.Fatalf("dlserve: traces: %v", err)
+	}
+	logger.Printf("dlserve: trace store %s (%d traces)", traces.Dir(), traces.Len())
+
 	srv := serve.NewServer(serve.Config{
 		Workers: *workers, QueueDepth: *queue, CacheEntries: *cache,
 		ExpJobs: *expJobs, Shards: *shards, JobTimeout: *jobTimeout, SideDir: *sideDir,
-		Store: st,
-		Logf:  logger.Printf,
+		Store: st, Traces: traces,
+		Logf: logger.Printf,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -7,6 +7,14 @@
 //	dlsim -mech dimm-link -dimms 8 -channels 4 -workload bfs -scale 15
 //	dlsim -mech mcn -workload pr -iters 5
 //	dlsim -mech dimm-link -topology torus -linkbw 50e9 -workload hotspot
+//	tracegen -workload bfs | dlsim -tracein - -map page
+//
+// With -tracein, dlsim replays an external trace (text or binary ingest
+// format, "-" for stdin) instead of a synthetic workload: the trace's
+// raw addresses are translated onto the simulated DIMMs by the -map
+// policy, and the run is content-addressed by the trace's canonical
+// hash — a dlserve trace-kind job over the uploaded trace returns the
+// same stdout byte-for-byte.
 //
 // The flag set is a 1:1 surface over the canonical job spec in
 // internal/spec, which dlserve serves over HTTP: a dlserve job with the
@@ -20,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/nmp"
 	"repro/internal/sim"
@@ -47,6 +56,11 @@ func main() {
 		faultSpec = flag.String("fault", "", "link-fault plan, e.g. 'ber=1e-7,down=0-1@10us,stall=2-3@5us+20us,degrade=1-2@0*0.5' (dimm-link only)")
 		faultSeed = flag.Int64("faultseed", spec.DefaultFaultSeed, "seed for the fault plan's error draws")
 
+		traceIn  = flag.String("tracein", "", "replay an external trace file (ingest text or binary format; '-' = stdin) instead of a synthetic workload")
+		mapPol   = flag.String("map", spec.DefaultMap, "address->DIMM mapping policy for -tracein: direct | page | first-touch")
+		pageSize = flag.Int("page", spec.DefaultPageBytes, "page size in bytes for the page / first-touch mapping policies")
+		traffic  = flag.String("traffic", "", "write the inter-DIMM traffic-matrix report (CSV) to this file; stdout is unchanged")
+
 		shards = flag.Int("shards", 0, "run on the sharded event kernel with N lanes (0/1 = single queue; output is byte-identical for every value)")
 
 		withMetrics = flag.Bool("metrics", false, "attach the observability layer and report latency percentiles and per-link utilization")
@@ -68,16 +82,39 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	sp, err := spec.Spec{
-		Kind: spec.KindSim,
-		Mech: *mech, DIMMs: *dimms, Channels: *channels,
-		Workload: *workload, Scale: *scale, EdgeFactor: *ef, Iters: *iters,
-		Topology: *topology, LinkBW: *linkbw, Polling: *polling,
-		CXL: *cxl, Broadcast: *bcast, Coll: *coll,
-		Seed: *seed, Fault: *faultSpec, FaultSeed: *faultSeed,
-	}.Normalized()
-	if err != nil {
-		fatal(err)
+	var (
+		sp spec.Spec
+		td *ingest.Data
+	)
+	if *traceIn != "" {
+		var err error
+		td, err = loadTrace(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		sp, err = spec.Spec{
+			Kind: spec.KindTrace,
+			Mech: *mech, DIMMs: *dimms, Channels: *channels,
+			Topology: *topology, LinkBW: *linkbw, Polling: *polling, CXL: *cxl,
+			Trace: td.Hash, Map: *mapPol, PageBytes: *pageSize,
+			Fault: *faultSpec, FaultSeed: *faultSeed,
+		}.Normalized()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		sp, err = spec.Spec{
+			Kind: spec.KindSim,
+			Mech: *mech, DIMMs: *dimms, Channels: *channels,
+			Workload: *workload, Scale: *scale, EdgeFactor: *ef, Iters: *iters,
+			Topology: *topology, LinkBW: *linkbw, Polling: *polling,
+			CXL: *cxl, Broadcast: *bcast, Coll: *coll,
+			Seed: *seed, Fault: *faultSpec, FaultSeed: *faultSeed,
+		}.Normalized()
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	// The observability layer is passive: an instrumented run is
@@ -103,11 +140,32 @@ func main() {
 		hooks.SamplePeriod = sim.Time(*samplePd) * sim.Nanosecond
 	}
 
-	run, err := sp.RunSim(hooks)
+	var (
+		run *spec.SimRun
+		err error
+	)
+	if td != nil {
+		run, err = sp.ReplayTrace(td, hooks)
+	} else {
+		run, err = sp.RunSim(hooks)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	run.Report(os.Stdout)
+
+	if *traffic != "" {
+		f, err := os.Create(*traffic)
+		if err != nil {
+			fatal(err)
+		}
+		if err := run.WriteTrafficCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	if report {
 		reportMetrics(hooks.Metrics, run.Sys, run.Res.Makespan)
@@ -181,6 +239,23 @@ func reportMetrics(coll *metrics.Collector, sys *nmp.System, makespan sim.Time) 
 		fmt.Println()
 		st.Render(os.Stdout)
 	}
+}
+
+// loadTrace fully ingests an external trace from a file or stdin ("-"),
+// validating it and computing its canonical content hash.
+func loadTrace(path string) (*ingest.Data, error) {
+	var src *os.File
+	if path == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src = f
+	}
+	return ingest.ReadAll(src)
 }
 
 func fatal(err error) {

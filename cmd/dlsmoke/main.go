@@ -48,6 +48,7 @@ func main() {
 		simBin   = flag.String("sim", "./dlsim", "path to the dlsim binary")
 		clusterN = flag.Int("cluster", 0, "run the cluster smoke with N nodes instead of the single-node smoke")
 		chaos    = flag.Bool("chaos", false, "with -cluster: SIGKILL the node hosting a job mid-run and require a byte-identical answer from a peer")
+		traceIn  = flag.String("tracein", "", "single-node smoke only: additionally upload this trace file and require the trace job's result to match dlsim -tracein byte for byte")
 	)
 	flag.Parse()
 
@@ -57,7 +58,7 @@ func main() {
 	if *clusterN > 0 {
 		clusterSmoke(ctx, *serveBin, *simBin, *clusterN, *chaos)
 	} else {
-		singleSmoke(ctx, *serveBin, *simBin)
+		singleSmoke(ctx, *serveBin, *simBin, *traceIn)
 	}
 	fmt.Println("dlsmoke: PASS")
 }
@@ -312,7 +313,7 @@ func chaosKill(ctx context.Context, simBin string, d *cluster.Dispatcher, nodes 
 
 // --- single-node smoke (the original contract) ---
 
-func singleSmoke(ctx context.Context, serveBin, simBin string) {
+func singleSmoke(ctx context.Context, serveBin, simBin, traceIn string) {
 	nd, err := startNode(serveBin, "-addr", "127.0.0.1:0", "-workers", "1")
 	if err != nil {
 		fatal(err)
@@ -374,6 +375,11 @@ func singleSmoke(ctx context.Context, serveBin, simBin string) {
 		fatal(fmt.Errorf("metrics scrape missing job counters (err %v)", err))
 	}
 	fmt.Println("dlsmoke: /healthz and /metrics OK")
+
+	// --- 3b. External-trace path (opt-in via -tracein). ---
+	if traceIn != "" {
+		traceSmoke(ctx, c, simBin, traceIn)
+	}
 
 	// --- 4. Graceful drain under SIGTERM. ---
 	// Submit a slower job, let it start, then TERM the server while it
@@ -441,6 +447,46 @@ func singleSmoke(ctx context.Context, serveBin, simBin string) {
 		fatal(fmt.Errorf("dlserve exited non-zero after drain: %w", err))
 	}
 	fmt.Println("dlsmoke: SIGTERM drained gracefully (503 intake, result intact, exit 0)")
+}
+
+// traceSmoke proves the external-trace contract end to end: the same
+// trace file replayed through dlsim -tracein and through the HTTP path
+// (streaming upload, then a trace-kind job referencing the returned
+// hash) must produce byte-identical reports.
+func traceSmoke(ctx context.Context, c *client.Client, simBin, path string) {
+	cli, err := exec.Command(simBin, "-tracein", path).Output()
+	if err != nil {
+		fatal(fmt.Errorf("dlsim -tracein: %w", err))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := c.UploadTrace(ctx, f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("trace upload: %w", err))
+	}
+	st, err := c.Submit(ctx, spec.Spec{Kind: spec.KindTrace, Trace: info.Hash})
+	if err != nil {
+		fatal(fmt.Errorf("trace submit: %w", err))
+	}
+	fin, err := c.Wait(ctx, st.ID, 0)
+	if err != nil {
+		fatal(fmt.Errorf("trace wait: %w", err))
+	}
+	if fin.State != serve.JobDone {
+		fatal(fmt.Errorf("trace job %s ended %s: %s", st.ID, fin.State, fin.Error))
+	}
+	body, err := c.Result(ctx, st.ID, false)
+	if err != nil {
+		fatal(fmt.Errorf("trace result: %w", err))
+	}
+	if !bytes.Equal(body, cli) {
+		fatal(fmt.Errorf("trace job result differs from dlsim -tracein stdout:\n--- http\n%s--- cli\n%s", body, cli))
+	}
+	fmt.Printf("dlsmoke: uploaded trace %s… (%d records); trace job byte-identical to dlsim -tracein\n",
+		info.Hash[:12], info.Records)
 }
 
 func fatal(err error) {

@@ -1,11 +1,14 @@
-// tracegen dumps a workload's memory trace in the text format of
-// internal/trace — the trace-driven mode the paper's FPGA prototype uses
-// ("we use pre-dumped traces to drive the system"). The trace can be
-// replayed on any system configuration via the trace.Replay kernel.
+// tracegen dumps a workload's memory trace in the ingest formats of
+// internal/ingest — the trace-driven mode the paper's FPGA prototype
+// uses ("we use pre-dumped traces to drive the system"). The trace can
+// be replayed on any system configuration via dlsim -tracein (or
+// uploaded to dlserve and run as a trace-kind job); both encodings
+// carry the same canonical content hash.
 //
-// Example:
+// Examples:
 //
 //	tracegen -workload bfs -scale 12 -out bfs.trace
+//	tracegen -workload pr -format binary | dlsim -tracein - -map direct
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/cores"
+	"repro/internal/ingest"
 	"repro/internal/nmp"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -28,9 +32,21 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		dimms    = flag.Int("dimms", 4, "DIMMs in the recording system")
 		channels = flag.Int("channels", 2, "channels in the recording system")
+		format   = flag.String("format", "text", "output encoding: text | binary (same canonical hash either way)")
 		out      = flag.String("out", "", "output file (default stdout)")
 	)
 	flag.Parse()
+
+	var enc ingest.Format
+	switch *format {
+	case "text":
+		enc = ingest.FormatText
+	case "binary":
+		enc = ingest.FormatBinary
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown format %q (text | binary)\n", *format)
+		os.Exit(1)
+	}
 
 	var w workloads.Workload
 	g := workloads.Community(*scale, *ef, *seed)
@@ -67,7 +83,7 @@ func main() {
 		defer f.Close()
 		dst = f
 	}
-	if err := rec.Trace.Encode(dst); err != nil {
+	if err := ingest.WriteTrace(dst, &rec.Trace, enc); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,127 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// binHeaderLen is the fixed binary header size (see the package doc).
+const binHeaderLen = 12
+
+// binVersion is the only binary format version this reader accepts.
+const binVersion = 1
+
+// encodeHeader appends the canonical 12-byte binary header to dst.
+func encodeHeader(dst []byte, threads int) []byte {
+	dst = append(dst, binMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, binVersion)
+	dst = binary.LittleEndian.AppendUint16(dst, 0) // flags
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(threads))
+	return dst
+}
+
+// encodeFrame appends one record's binary frame to dst.
+func encodeFrame(dst []byte, rec *trace.Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(rec.Thread))
+	dst = binary.AppendUvarint(dst, rec.Addr)
+	dst = binary.AppendUvarint(dst, uint64(rec.Size))
+	dst = binary.AppendUvarint(dst, rec.Gap)
+	op := byte(0)
+	if rec.Write {
+		op = 1
+	}
+	return append(dst, op)
+}
+
+// hashHeader feeds the canonical header into the running content hash.
+func (r *Reader) hashHeader() {
+	r.scratch = encodeHeader(r.scratch[:0], r.threads)
+	r.sum.Write(r.scratch)
+}
+
+// hashRecord feeds one record's canonical frame into the content hash.
+func (r *Reader) hashRecord(rec *trace.Record) {
+	r.scratch = encodeFrame(r.scratch[:0], rec)
+	r.sum.Write(r.scratch)
+}
+
+// binaryHeader parses and validates the 12-byte binary header.
+func (r *Reader) binaryHeader() error {
+	var hdr [binHeaderLen]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return r.errf("truncated header (%v)", err)
+	}
+	if [4]byte(hdr[:4]) != binMagic {
+		return r.errf("bad magic % x", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != binVersion {
+		return r.errf("unsupported version %d (want %d)", v, binVersion)
+	}
+	if f := binary.LittleEndian.Uint16(hdr[6:8]); f != 0 {
+		return r.errf("unsupported flags %#x", f)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:12])
+	if n == 0 || n > MaxThreads {
+		return r.errf("bad thread count %d (want 1..%d)", n, MaxThreads)
+	}
+	r.threads = int(n)
+	return nil
+}
+
+// nextBinary parses one binary frame. A clean EOF before the first byte
+// of a frame ends the trace; EOF anywhere inside a frame is truncation.
+func (r *Reader) nextBinary(rec *trace.Record) error {
+	th, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF // frame boundary: clean end of trace
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return r.errf("truncated frame: incomplete thread varint")
+		}
+		return r.errf("bad thread varint: %v", err)
+	}
+	addr, err := r.uvarint("addr")
+	if err != nil {
+		return err
+	}
+	size, err := r.uvarint("size")
+	if err != nil {
+		return err
+	}
+	gap, err := r.uvarint("gap")
+	if err != nil {
+		return err
+	}
+	op, err := r.br.ReadByte()
+	if err != nil {
+		return r.errf("truncated frame: missing op byte")
+	}
+	if op > 1 {
+		return r.errf("bad op byte %#x (want 0 or 1)", op)
+	}
+	if th > MaxThreads {
+		return r.errf("bad thread %d", th)
+	}
+	if size > 1<<32-1 {
+		return r.errf("size %d exceeds uint32", size)
+	}
+	rec.Thread, rec.Addr, rec.Size, rec.Gap, rec.Write = int(th), addr, uint32(size), gap, op == 1
+	return nil
+}
+
+// uvarint reads one LEB128 varint, mapping any EOF to a truncation
+// error naming the field.
+func (r *Reader) uvarint(field string) (uint64, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, r.errf("truncated frame: incomplete %s varint", field)
+		}
+		return 0, r.errf("bad %s varint: %v", field, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzDecode fuzzes the frame decoder (both encodings reach it via
+// format sniffing): arbitrary bytes must parse or error, never panic,
+// and any input that parses must survive a re-encode/re-parse round
+// trip bit-for-bit — the decoder and encoder agree on the format.
+func FuzzDecode(f *testing.F) {
+	// Seeds: valid text, valid binary, and assorted corruptions.
+	tr := randomTrace(11, 3, 20)
+	var text, bin bytes.Buffer
+	if err := WriteTrace(&text, tr, FormatText); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteTrace(&bin, tr, FormatBinary); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(text.Bytes())
+	f.Add(bin.Bytes())
+	f.Add(bin.Bytes()[:len(bin.Bytes())/2])
+	f.Add([]byte("#dltrace v1\n#threads 4\n0 R ff 64 0\n"))
+	f.Add([]byte("#dltrace v1\n#threads 4\n9 W zz -1 0\n"))
+	f.Add([]byte("DLTR"))
+	f.Add(append([]byte("DLTR\x01\x00\x00\x00\x04\x00\x00\x00"), 0x80, 0x80, 0x80))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		rd, err := NewReader(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var recs []trace.Record
+		var rec trace.Record
+		for {
+			if err := rd.Next(&rec); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return
+			}
+			recs = append(recs, rec)
+			if len(recs) > 1<<16 {
+				return // enough; bound fuzz memory
+			}
+		}
+		// Clean parse: the canonical re-encode must re-parse to the same
+		// records and the same content hash.
+		var out bytes.Buffer
+		if err := WriteTrace(&out, &trace.Trace{Threads: rd.Threads(), Records: recs}, FormatBinary); err != nil {
+			t.Fatalf("re-encode of valid parse failed: %v", err)
+		}
+		d, err := ReadAll(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of re-encode failed: %v", err)
+		}
+		if d.Hash != rd.Sum() {
+			t.Fatalf("canonical hash changed across re-encode: %s vs %s", d.Hash, rd.Sum())
+		}
+		for i := range recs {
+			if d.Records[i] != recs[i] {
+				t.Fatalf("record %d changed across re-encode: %+v vs %+v", i, d.Records[i], recs[i])
+			}
+		}
+	})
+}

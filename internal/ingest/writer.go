@@ -1,0 +1,99 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Writer streams a trace out in either encoding, record by record. It
+// is the reference producer for the format (cmd/tracegen uses it) and
+// the re-encoder the round-trip tests pin.
+type Writer struct {
+	bw      *bufio.Writer
+	format  Format
+	threads int
+	scratch []byte
+	err     error
+}
+
+// NewWriter opens a streaming trace writer in the given format and
+// writes the versioned header immediately.
+func NewWriter(w io.Writer, format Format, threads int) (*Writer, error) {
+	if threads <= 0 || threads > MaxThreads {
+		return nil, fmt.Errorf("ingest: thread count %d out of range [1, %d]", threads, MaxThreads)
+	}
+	tw := &Writer{bw: bufio.NewWriterSize(w, 1<<16), format: format, threads: threads}
+	switch format {
+	case FormatText:
+		fmt.Fprintf(tw.bw, "%s\n#threads %d\n", textMagic, threads)
+	case FormatBinary:
+		tw.scratch = encodeHeader(tw.scratch[:0], threads)
+		tw.bw.Write(tw.scratch)
+	default:
+		return nil, fmt.Errorf("ingest: unknown format %q (want %q or %q)", format, FormatText, FormatBinary)
+	}
+	return tw, nil
+}
+
+// Write emits one record. Errors are sticky and also returned by Flush.
+func (w *Writer) Write(rec *trace.Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	switch {
+	case rec.Thread < 0 || rec.Thread >= w.threads:
+		w.err = fmt.Errorf("ingest: record thread %d out of range [0, %d)", rec.Thread, w.threads)
+	case rec.Size == 0 || rec.Size > MaxRecordBytes:
+		w.err = fmt.Errorf("ingest: record size %d out of range [1, %d]", rec.Size, MaxRecordBytes)
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.format == FormatBinary {
+		w.scratch = encodeFrame(w.scratch[:0], rec)
+		_, w.err = w.bw.Write(w.scratch)
+		return w.err
+	}
+	b := w.scratch[:0]
+	b = strconv.AppendInt(b, int64(rec.Thread), 10)
+	if rec.Write {
+		b = append(b, ' ', 'W', ' ')
+	} else {
+		b = append(b, ' ', 'R', ' ')
+	}
+	b = strconv.AppendUint(b, rec.Addr, 16)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, uint64(rec.Size), 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, rec.Gap, 10)
+	b = append(b, '\n')
+	w.scratch = b
+	_, w.err = w.bw.Write(b)
+	return w.err
+}
+
+// Flush drains buffered output and returns any sticky error.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// WriteTrace serializes an in-memory trace in the given format.
+func WriteTrace(w io.Writer, t *trace.Trace, format Format) error {
+	tw, err := NewWriter(w, format, t.Threads)
+	if err != nil {
+		return err
+	}
+	for i := range t.Records {
+		if err := tw.Write(&t.Records[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

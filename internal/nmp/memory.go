@@ -41,6 +41,7 @@ func (m *nmpMemory) Access(at sim.Time, coreID int, addr uint64, size uint32, wr
 	target := m.sys.Cfg.Geo.DIMMOf(addr)
 	if target != home {
 		m.sys.Ctrs.Add("bytes.remote", uint64(size))
+		m.sys.Traffic.Add(home, target, uint64(size))
 		return m.sys.IC.Access(at, home, addr, size, write), true
 	}
 	m.sys.Ctrs.Add("bytes.local", uint64(size))
@@ -82,8 +83,9 @@ func scatterStride(rowBytes, lineBytes uint64) uint64 { return rowBytes + lineBy
 func (m *nmpMemory) Scatter(at sim.Time, coreID int, addr uint64, span uint64, count uint32, write bool) (sim.Time, bool) {
 	home := m.sys.coreDIMM(coreID)
 	geo := m.sys.Cfg.Geo
-	if geo.DIMMOf(addr) != home {
+	if target := geo.DIMMOf(addr); target != home {
 		m.sys.Ctrs.Add("bytes.remote", uint64(count)*geo.LineBytes)
+		m.sys.Traffic.Add(home, target, uint64(count)*geo.LineBytes)
 		return m.sys.IC.Access(at, home, addr, count*uint32(geo.LineBytes), write), true
 	}
 	if span < geo.LineBytes {
@@ -103,9 +105,15 @@ func (m *nmpMemory) Scatter(at sim.Time, coreID int, addr uint64, span uint64, c
 	return done, false
 }
 
-// Broadcast implements cores.Memory.
+// Broadcast implements cores.Memory. The source DIMM's payload reaches
+// every other DIMM, so the traffic matrix charges one copy per
+// destination regardless of the mechanism's delivery tree.
 func (m *nmpMemory) Broadcast(at sim.Time, coreID int, addr uint64, size uint32) sim.Time {
-	return m.sys.IC.Broadcast(at, m.sys.coreDIMM(coreID), addr, size)
+	home := m.sys.coreDIMM(coreID)
+	for d := 0; d < m.sys.Cfg.Geo.NumDIMMs; d++ {
+		m.sys.Traffic.Add(home, d, uint64(size))
+	}
+	return m.sys.IC.Broadcast(at, home, addr, size)
 }
 
 // Barrier implements cores.Memory.

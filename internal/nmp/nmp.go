@@ -144,6 +144,13 @@ type System struct {
 	// baseline (whose shared memory needs no transport schedule).
 	Coll *idc.Collectives
 
+	// Traffic accumulates the src×dst inter-DIMM byte matrix (data
+	// accesses and broadcasts; sync-only barrier/collective rendezvous
+	// excluded). nil for the host baseline, whose accesses are never
+	// inter-DIMM. Recording is passive bookkeeping — it never perturbs
+	// the simulated timeline.
+	Traffic *metrics.Traffic
+
 	memory  cores.Memory
 	nmpMem  *nmpMemory // base memory for the end-of-kernel cache flush
 	Ctrs    stats.Counters
@@ -219,6 +226,7 @@ func NewSystem(cfg Config) (*System, error) {
 			algo = idc.SelectAlgo(string(cfg.Mech), string(cfg.DL.Topology))
 		}
 		s.Coll = idc.NewCollectives(s.IC, cfg.Geo, idc.DefaultCollConfig(algo))
+		s.Traffic = metrics.NewTraffic(cfg.Geo.NumDIMMs)
 		s.nmpMem = newNMPMemory(s)
 		s.memory = s.nmpMem
 	}

@@ -375,6 +375,11 @@ func (n *Network) LinkUtilizationAt(i int, now sim.Time) float64 {
 	return n.sortedLinks[i].bus.Utilization(now)
 }
 
+// LinkBytesAt returns the bytes carried so far by the i-th link in
+// LinkKeys order — the per-link demand column of the traffic-matrix
+// report.
+func (n *Network) LinkBytesAt(i int) uint64 { return n.sortedLinks[i].bytes }
+
 // AppendLinkUtilization appends the utilization of every link over
 // [0, now] to dst in LinkKeys order and returns the extended slice — the
 // reuse-buffer bulk variant: pass dst[:0] of a retained buffer to sample

@@ -379,6 +379,36 @@ func (c *Client) ResultByHash(ctx context.Context, hash string) ([]byte, error) 
 	return b, nil
 }
 
+// UploadTrace streams a trace (either ingest encoding) to POST
+// /v1/traces and returns the server's TraceInfo. The body is consumed
+// exactly once — a streaming upload is not replayable, so this call
+// spends no retries; callers that want retry semantics must re-open the
+// source themselves. Uploads are idempotent by content: re-sending a
+// stored trace succeeds with the same hash.
+func (c *Client) UploadTrace(ctx context.Context, body io.Reader) (serve.TraceInfo, error) {
+	var info serve.TraceInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/traces", body)
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		c.count("request.errors")
+		return info, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.count("request.errors")
+		return info, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return info, &apiError{Code: resp.StatusCode, Body: string(b)}
+	}
+	return info, json.Unmarshal(b, &info)
+}
+
 // Cancel requests cancellation of a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (serve.JobStatus, error) {
 	var st serve.JobStatus

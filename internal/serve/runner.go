@@ -27,7 +27,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/metrics"
+	"repro/internal/serve/store"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
@@ -82,7 +84,7 @@ func newServerCore(cfg Config) *Server {
 		start:      time.Now(),
 	}
 	s.runSpec = func(ctx context.Context, sp spec.Spec, progress func(int, int), coll *metrics.Collector) (*Result, error) {
-		return executeSpec(ctx, sp, s.cfg.ExpJobs, s.cfg.Shards, progress, coll)
+		return executeSpec(ctx, sp, s.cfg.ExpJobs, s.cfg.Shards, s.cfg.Traces, progress, coll)
 	}
 	if cfg.Runner != nil {
 		s.runSpec = cfg.Runner
@@ -98,6 +100,9 @@ func newServerCore(cfg Config) *Server {
 	}
 	if cfg.Store != nil {
 		names = append(names, "store.hits", "store.writes", "store.errors")
+	}
+	if cfg.Traces != nil {
+		names = append(names, "traces.uploaded", "traces.errors")
 	}
 	for _, n := range names {
 		s.ctrs.Add(n, 0)
@@ -264,12 +269,39 @@ func (s *Server) evictionsLocked(n int) {
 
 // executeSpec is the real job runner: render exactly what the equivalent
 // CLI invocation would print, plus the structured body.
-func executeSpec(ctx context.Context, sp spec.Spec, expJobs, shards int, progress func(done, total int), coll *metrics.Collector) (*Result, error) {
+func executeSpec(ctx context.Context, sp spec.Spec, expJobs, shards int, traces *store.Blobs, progress func(done, total int), coll *metrics.Collector) (*Result, error) {
 	n, err := sp.Normalized()
 	if err != nil {
 		return nil, err
 	}
 	switch n.Kind {
+	case spec.KindTrace:
+		if traces == nil {
+			return nil, fmt.Errorf("serve: trace job without a trace store")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rc, err := traces.Open(n.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace %s: %w", n.Trace[:12], err)
+		}
+		td, err := ingest.ReadAll(rc)
+		_ = rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace %s: %w", n.Trace[:12], err)
+		}
+		run, err := n.ReplayTrace(td, spec.SimHooks{Metrics: coll, Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+		var text bytes.Buffer
+		run.Report(&text)
+		js, err := run.JSON()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Text: text.Bytes(), JSON: js}, nil
 	case spec.KindSim:
 		// One simulation is a single indivisible job: honor cancellation
 		// that arrives before the run starts.

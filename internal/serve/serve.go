@@ -15,6 +15,11 @@
 //
 //	POST   /v1/jobs             submit a spec; 202 queued, 200 cache/dedup
 //	                            hit, 400 bad spec, 429 queue full, 503 draining
+//	POST   /v1/traces           chunked trace upload (text or binary
+//	                            ingest format): streamed to the trace blob
+//	                            store with bounded request memory, hash
+//	                            computed while streaming; 200 {hash,...},
+//	                            400 malformed trace
 //	GET    /v1/jobs/{id}        job status + progress
 //	GET    /v1/jobs/{id}/result rendered result (text; ?format=json for
 //	                            structured; ?wait=1 blocks until terminal)
@@ -57,6 +62,11 @@ type Config struct {
 	// (spec hash addresses exact bytes) is what makes a disk hit
 	// indistinguishable from a fresh computation.
 	Store *store.Store
+	// Traces, when non-nil, enables trace-kind jobs: POST /v1/traces
+	// streams uploads into it, and trace-kind submissions resolve their
+	// content hash against it. nil rejects both (the default for a
+	// stateless server — trace jobs need durable input bytes).
+	Traces *store.Blobs
 	// ExpJobs is the per-experiment grid pool width handed to
 	// internal/exp (0 = GOMAXPROCS). Output is byte-identical for every
 	// value, so this is pure execution policy.
@@ -122,6 +132,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/results/{hash}", s.handleResultByHash)
@@ -194,6 +205,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if st, code, ok := s.resolveSubmit(n, hash, false); ok {
 		writeJSON(w, code, st)
 		return
+	}
+
+	// A trace job that reaches execution needs its input bytes; with no
+	// cached result to serve, an unknown trace hash can only fail later,
+	// so reject it now with a pointer at the upload endpoint.
+	if n.Kind == spec.KindTrace {
+		if s.cfg.Traces == nil {
+			http.Error(w, "trace jobs not enabled (server has no trace store)", http.StatusBadRequest)
+			return
+		}
+		if !s.cfg.Traces.Has(n.Trace) {
+			http.Error(w, fmt.Sprintf("unknown trace %s: upload it via POST /v1/traces first", n.Trace),
+				http.StatusBadRequest)
+			return
+		}
 	}
 
 	s.mu.Lock()
@@ -424,6 +450,7 @@ type Health struct {
 	Jobs         int     `json:"jobs"`
 	CacheEntries int     `json:"cache_entries"`
 	StoreEntries int     `json:"store_entries,omitempty"`
+	TraceEntries int     `json:"trace_entries,omitempty"`
 	Workers      int     `json:"workers"`
 	QueueDepth   int     `json:"queue_depth"`
 	UptimeSec    float64 `json:"uptime_sec"`
@@ -443,6 +470,9 @@ func (s *Server) health() Health {
 	}
 	if s.cfg.Store != nil {
 		h.StoreEntries = s.cfg.Store.Len()
+	}
+	if s.cfg.Traces != nil {
+		h.TraceEntries = s.cfg.Traces.Len()
 	}
 	return h
 }

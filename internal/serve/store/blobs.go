@@ -1,0 +1,164 @@
+// blobs.go is the trace-blob tier: uploaded trace files spilled to disk
+// under their canonical content hash (ingest.Reader.Sum), the input-side
+// counterpart of the result store. The same discipline applies — temp
+// file + rename so readers only ever see complete blobs, and crashed
+// writers leave only temp files the next Open sweeps away. Blobs keep
+// whatever encoding they arrived in (text or binary); the canonical hash
+// is encoding-independent, so either serialization of a trace lands on
+// the same key.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const blobSuffix = ".trace"
+
+// Blobs is a disk-backed content-addressed blob store for uploaded
+// traces. Safe for concurrent use within one process; cross-process
+// safety comes from the atomic rename.
+type Blobs struct {
+	dir string
+
+	mu     sync.Mutex
+	hashes map[string]struct{}
+}
+
+// OpenBlobs creates (if needed) and scans dir, sweeping leftover temp
+// files from crashed writers.
+func OpenBlobs(dir string) (*Blobs, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	b := &Blobs{dir: dir, hashes: make(map[string]struct{})}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if h, ok := strings.CutSuffix(name, blobSuffix); ok && validHash(h) {
+			b.hashes[h] = struct{}{}
+		}
+	}
+	return b, nil
+}
+
+// Dir returns the backing directory.
+func (b *Blobs) Dir() string { return b.dir }
+
+// Len returns the number of blobs believed present.
+func (b *Blobs) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.hashes)
+}
+
+// Hashes returns every stored blob hash in sorted order.
+func (b *Blobs) Hashes() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.hashes))
+	for h := range b.hashes {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether a blob exists for the hash.
+func (b *Blobs) Has(hash string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.hashes[hash]
+	return ok
+}
+
+func (b *Blobs) path(hash string) string {
+	return filepath.Join(b.dir, hash+blobSuffix)
+}
+
+// Open returns a reader over a stored blob.
+func (b *Blobs) Open(hash string) (io.ReadCloser, error) {
+	if !validHash(hash) || !b.Has(hash) {
+		return nil, ErrNotFound
+	}
+	f, err := os.Open(b.path(hash))
+	if err != nil {
+		if os.IsNotExist(err) {
+			b.mu.Lock()
+			delete(b.hashes, hash)
+			b.mu.Unlock()
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}
+
+// Create starts a streaming blob write. The caller streams the upload
+// through the writer (typically via io.TeeReader while parsing), then
+// either Commits it under its computed hash or Aborts.
+func (b *Blobs) Create() (*BlobWriter, error) {
+	f, err := os.CreateTemp(b.dir, tmpPattern)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &BlobWriter{b: b, f: f, name: f.Name()}, nil
+}
+
+// BlobWriter is an in-progress blob upload: an io.Writer over a temp
+// file that becomes a named blob on Commit.
+type BlobWriter struct {
+	b    *Blobs
+	f    *os.File
+	name string
+	n    int64
+}
+
+// Write implements io.Writer.
+func (w *BlobWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+// Bytes returns how many bytes have been written so far.
+func (w *BlobWriter) Bytes() int64 { return w.n }
+
+// Commit publishes the blob under hash (atomic rename). The writer is
+// unusable afterwards.
+func (w *BlobWriter) Commit(hash string) error {
+	if !validHash(hash) {
+		w.Abort()
+		return fmt.Errorf("store: invalid blob hash %q", hash)
+	}
+	if err := w.f.Close(); err != nil {
+		_ = os.Remove(w.name)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(w.name, w.b.path(hash)); err != nil {
+		_ = os.Remove(w.name)
+		return fmt.Errorf("store: %w", err)
+	}
+	w.b.mu.Lock()
+	w.b.hashes[hash] = struct{}{}
+	w.b.mu.Unlock()
+	return nil
+}
+
+// Abort discards the in-progress blob.
+func (w *BlobWriter) Abort() {
+	_ = w.f.Close()
+	_ = os.Remove(w.name)
+}

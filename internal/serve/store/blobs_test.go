@@ -1,0 +1,126 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func blobHash(c byte) string { return strings.Repeat(string(c), 64) }
+
+func TestBlobsCommitOpen(t *testing.T) {
+	b, err := OpenBlobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := b.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != 7 {
+		t.Errorf("Bytes() = %d", w.Bytes())
+	}
+	h := blobHash('a')
+	if err := w.Commit(h); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Has(h) || b.Len() != 1 {
+		t.Fatalf("blob not indexed: has=%v len=%d", b.Has(h), b.Len())
+	}
+	rc, err := b.Open(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(got) != "payload" {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestBlobsAbortAndInvalidCommit(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := b.Create()
+	w.Write([]byte("x"))
+	w.Abort()
+	w2, _ := b.Create()
+	w2.Write([]byte("y"))
+	if err := w2.Commit("not-a-hash"); err == nil {
+		t.Error("invalid hash commit accepted")
+	}
+	if b.Len() != 0 {
+		t.Errorf("store not empty: %d", b.Len())
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("aborted writes left %d files", len(entries))
+	}
+}
+
+func TestBlobsReopenAndSweep(t *testing.T) {
+	dir := t.TempDir()
+	b, err := OpenBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := blobHash('b')
+	w, _ := b.Create()
+	w.Write([]byte("z"))
+	if err := w.Commit(h); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed writer and a stray file.
+	os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(dir, "README"), []byte("junk"), 0o644)
+
+	b2, err := OpenBlobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b2.Has(h) || b2.Len() != 1 {
+		t.Errorf("reopen lost the blob: has=%v len=%d", b2.Has(h), b2.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-123")); !os.IsNotExist(err) {
+		t.Error("temp file not swept on reopen")
+	}
+	if got := b2.Hashes(); len(got) != 1 || got[0] != h {
+		t.Errorf("Hashes() = %v", got)
+	}
+}
+
+func TestBlobsOpenMissing(t *testing.T) {
+	b, err := OpenBlobs(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Open(blobHash('c')); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing blob: %v", err)
+	}
+	if _, err := b.Open("../evil"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("invalid hash: %v", err)
+	}
+	// Self-heal: an indexed blob whose file vanished is dropped.
+	h := blobHash('d')
+	w, _ := b.Create()
+	w.Write([]byte("q"))
+	if err := w.Commit(h); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(b.Dir(), h+".trace"))
+	if _, err := b.Open(h); !errors.Is(err, ErrNotFound) {
+		t.Errorf("vanished blob: %v", err)
+	}
+	if b.Has(h) {
+		t.Error("vanished blob still indexed")
+	}
+}

@@ -1,0 +1,77 @@
+// traces.go is the trace-upload surface: POST /v1/traces streams a
+// trace (either ingest encoding) into the blob store while parsing and
+// hashing it record-at-a-time — memory per request is one bufio buffer,
+// never the whole trace. Trace-kind jobs then reference the stored blob
+// by its canonical hash.
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/ingest"
+	"repro/internal/trace"
+)
+
+// TraceInfo is the POST /v1/traces response body.
+type TraceInfo struct {
+	Hash    string `json:"hash"`
+	Bytes   int64  `json:"bytes"`
+	Records uint64 `json:"records"`
+	Threads int    `json:"threads"`
+}
+
+// handleTraceUpload validates and stores an uploaded trace. The body is
+// teed to a blob temp file while the ingest reader parses it; a parse
+// error aborts the blob (nothing is kept) and reports the offending
+// line/record, and a valid trace is committed under its canonical hash
+// — idempotently, so re-uploading (or uploading the other encoding of a
+// trace already stored) succeeds with the same hash.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Traces == nil {
+		http.Error(w, "trace uploads not enabled (server has no trace store)", http.StatusNotImplemented)
+		return
+	}
+	bw, err := s.cfg.Traces.Create()
+	if err != nil {
+		s.count("traces.errors")
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rd, err := ingest.NewReader(io.TeeReader(r.Body, bw))
+	if err != nil {
+		bw.Abort()
+		s.count("traces.errors")
+		http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var rec trace.Record
+	for {
+		if err := rd.Next(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			bw.Abort()
+			s.count("traces.errors")
+			http.Error(w, "bad trace: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if rd.Records() == 0 {
+		bw.Abort()
+		s.count("traces.errors")
+		http.Error(w, "bad trace: no records", http.StatusBadRequest)
+		return
+	}
+	hash := rd.Sum()
+	info := TraceInfo{Hash: hash, Bytes: bw.Bytes(), Records: rd.Records(), Threads: rd.Threads()}
+	if err := bw.Commit(hash); err != nil {
+		s.count("traces.errors")
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.count("traces.uploaded")
+	s.logf("dlserve: trace %s uploaded (%d records, %d bytes)", hash[:12], info.Records, info.Bytes)
+	writeJSON(w, http.StatusOK, info)
+}

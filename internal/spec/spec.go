@@ -26,6 +26,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/host"
 	"repro/internal/idc"
+	"repro/internal/ingest"
 	"repro/internal/nmp"
 	"repro/internal/workloads"
 )
@@ -37,6 +38,11 @@ type Kind string
 const (
 	KindSim Kind = "sim"
 	KindExp Kind = "exp"
+	// KindTrace replays an ingested external trace (internal/ingest)
+	// against a simulated system. The spec carries the trace's canonical
+	// content hash, not its bytes: the same trace + spec is the same job,
+	// cacheable like any other.
+	KindTrace Kind = "trace"
 )
 
 // Shared defaults. Both CLIs and the service resolve omitted fields to
@@ -53,6 +59,8 @@ const (
 	DefaultTopology   = string(core.TopoChain)
 	DefaultLinkBW     = 25e9
 	DefaultFaultSeed  = int64(1)
+	DefaultMap        = ingest.MapPage
+	DefaultPageBytes  = 4096
 )
 
 // Spec is one canonical job description. The zero value of every field
@@ -84,6 +92,13 @@ type Spec struct {
 	// inputs (dlbench -full); the default is quick mode.
 	Exp  string `json:"exp,omitempty"`
 	Full bool   `json:"full,omitempty"`
+
+	// Trace fields (Kind == KindTrace). Trace is the canonical sha256 of
+	// the ingested trace (ingest.Reader.Sum); Map the address→DIMM
+	// mapping policy; PageBytes the mapping granularity.
+	Trace     string `json:"trace,omitempty"`
+	Map       string `json:"map,omitempty"`
+	PageBytes int    `json:"pagebytes,omitempty"`
 
 	// Shared fields.
 	Seed      int64  `json:"seed,omitempty"`
@@ -173,6 +188,7 @@ func (s Spec) Normalized() (Spec, error) {
 	switch n.Kind {
 	case KindSim:
 		n.Exp, n.Full = "", false
+		n.Trace, n.Map, n.PageBytes = "", "", 0
 		if n.Mech == "" {
 			n.Mech = DefaultMech
 		}
@@ -229,11 +245,76 @@ func (s Spec) Normalized() (Spec, error) {
 		if !idc.ValidAlgo(n.Coll) {
 			return Spec{}, fmt.Errorf("spec: unknown collective algorithm %q", n.Coll)
 		}
+	case KindTrace:
+		// A replay run has the sim kind's system shape but no generated
+		// workload: the workload-sizing fields (and the input-generator
+		// seed, which nothing draws from) are pinned so they cannot split
+		// the content address.
+		n.Exp, n.Full = "", false
+		n.Workload, n.Scale, n.EdgeFactor, n.Iters = "", 0, 0, 0
+		n.Broadcast, n.Coll = false, ""
+		n.Seed = DefaultSeed
+		if n.Mech == "" {
+			n.Mech = DefaultMech
+		}
+		switch nmp.Mechanism(n.Mech) {
+		case nmp.MechDIMMLink, nmp.MechMCN, nmp.MechAIM, nmp.MechABCDIMM:
+		case nmp.MechHostCPU:
+			return Spec{}, fmt.Errorf("spec: trace replay drives NMP cores; the host-cpu baseline has none")
+		default:
+			return Spec{}, fmt.Errorf("spec: unknown mechanism %q", n.Mech)
+		}
+		if n.DIMMs == 0 {
+			n.DIMMs = DefaultDIMMs
+		}
+		if n.Channels == 0 {
+			n.Channels = DefaultChannels
+		}
+		if n.DIMMs < 0 || n.Channels < 0 {
+			return Spec{}, fmt.Errorf("spec: negative system size %dD-%dC", n.DIMMs, n.Channels)
+		}
+		if n.Topology == "" {
+			n.Topology = DefaultTopology
+		}
+		switch core.TopologyKind(n.Topology) {
+		case core.TopoChain, core.TopoRing, core.TopoMesh, core.TopoTorus:
+		default:
+			return Spec{}, fmt.Errorf("spec: unknown topology %q", n.Topology)
+		}
+		if n.LinkBW == 0 {
+			n.LinkBW = DefaultLinkBW
+		}
+		if n.LinkBW < 0 {
+			return Spec{}, fmt.Errorf("spec: negative link bandwidth %g", n.LinkBW)
+		}
+		if n.Polling != "" {
+			if _, err := ParsePolling(n.Polling); err != nil {
+				return Spec{}, err
+			}
+		}
+		if !isTraceHash(n.Trace) {
+			return Spec{}, fmt.Errorf("spec: trace %q is not a canonical sha256 (64 lowercase hex chars)", n.Trace)
+		}
+		if n.Map == "" {
+			n.Map = DefaultMap
+		}
+		switch n.Map {
+		case ingest.MapDirect, ingest.MapPage, ingest.MapFirstTouch:
+		default:
+			return Spec{}, fmt.Errorf("spec: unknown mapping policy %q (want direct, page or first-touch)", n.Map)
+		}
+		if n.PageBytes == 0 {
+			n.PageBytes = DefaultPageBytes
+		}
+		if n.PageBytes < 64 || n.PageBytes > 1<<28 || n.PageBytes&(n.PageBytes-1) != 0 {
+			return Spec{}, fmt.Errorf("spec: page size %d must be a power of two in [64, 2^28]", n.PageBytes)
+		}
 	case KindExp:
 		n.Mech, n.DIMMs, n.Channels, n.Workload = "", 0, 0, ""
 		n.Scale, n.EdgeFactor, n.Iters = 0, 0, 0
 		n.Topology, n.LinkBW, n.Polling = "", 0, ""
 		n.CXL, n.Broadcast, n.Coll = false, false, ""
+		n.Trace, n.Map, n.PageBytes = "", "", 0
 		if n.Exp == "" {
 			return Spec{}, fmt.Errorf("spec: exp kind needs an experiment id (or \"all\")")
 		}
@@ -264,6 +345,11 @@ func (s Spec) Canonical() ([]byte, error) {
 		fmt.Fprintf(&b, "scale=%d\nef=%d\niters=%d\n", n.Scale, n.EdgeFactor, n.Iters)
 		fmt.Fprintf(&b, "topology=%s\nlinkbw=%s\npolling=%s\ncxl=%t\nbroadcast=%t\ncoll=%s\n",
 			n.Topology, strconv.FormatFloat(n.LinkBW, 'g', -1, 64), n.Polling, n.CXL, n.Broadcast, n.Coll)
+	case KindTrace:
+		fmt.Fprintf(&b, "mech=%s\ndimms=%d\nchannels=%d\n", n.Mech, n.DIMMs, n.Channels)
+		fmt.Fprintf(&b, "topology=%s\nlinkbw=%s\npolling=%s\ncxl=%t\n",
+			n.Topology, strconv.FormatFloat(n.LinkBW, 'g', -1, 64), n.Polling, n.CXL)
+		fmt.Fprintf(&b, "trace=%s\nmap=%s\npagebytes=%d\n", n.Trace, n.Map, n.PageBytes)
 	case KindExp:
 		fmt.Fprintf(&b, "exp=%s\nfull=%t\n", n.Exp, n.Full)
 	}
@@ -281,6 +367,20 @@ func (s Spec) Hash() (string, error) {
 	}
 	sum := sha256.Sum256(c)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// isTraceHash reports whether s looks like a canonical trace content
+// address: exactly 64 lowercase hex characters.
+func isTraceHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // FaultPlan parses the spec's fault plan, or returns nil when none is
@@ -303,7 +403,7 @@ func (s Spec) Config() (nmp.Config, error) {
 	if err != nil {
 		return nmp.Config{}, err
 	}
-	if n.Kind != KindSim {
+	if n.Kind != KindSim && n.Kind != KindTrace {
 		return nmp.Config{}, fmt.Errorf("spec: Config on %q kind", n.Kind)
 	}
 	cfg := nmp.DefaultConfig(n.DIMMs, n.Channels, nmp.Mechanism(n.Mech))

@@ -162,8 +162,26 @@ type Replay struct {
 // Name implements the workload naming convention.
 func (r *Replay) Name() string { return "TraceReplay" }
 
-// Run drives the system from the trace.
+// Run drives the system from the trace. Every record is validated
+// against the system's geometry before any simulated work starts, so a
+// truncated or corrupt trace is an error with the offending record's
+// index — never a mid-kernel panic.
 func (r *Replay) Run(sys *nmp.System, placement []int, profile bool) (nmp.KernelResult, uint64, error) {
+	if len(placement) == 0 {
+		return nmp.KernelResult{}, 0, fmt.Errorf("trace: replay needs a non-empty placement")
+	}
+	total := sys.Cfg.Geo.TotalBytes()
+	for i, rec := range r.T.Records {
+		switch {
+		case rec.Thread < 0:
+			return nmp.KernelResult{}, 0, fmt.Errorf("trace: record %d: negative thread %d", i, rec.Thread)
+		case rec.Size == 0:
+			return nmp.KernelResult{}, 0, fmt.Errorf("trace: record %d: zero-size access", i)
+		case rec.Addr+uint64(rec.Size) < rec.Addr || rec.Addr+uint64(rec.Size) > total:
+			return nmp.KernelResult{}, 0, fmt.Errorf("trace: record %d: addr %#x + size %d beyond system capacity %#x",
+				i, rec.Addr, rec.Size, total)
+		}
+	}
 	perThread := make([][]Record, len(placement))
 	for _, rec := range r.T.Records {
 		slot := rec.Thread % len(placement)
