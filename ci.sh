@@ -61,6 +61,10 @@ if [ "${1:-}" != "quick" ]; then
 	go test -run 'ShardedReportByteIdentity|ShardedExperimentByteIdentity' \
 		./internal/spec/ ./internal/exp/
 
+	echo "== parallel-model differential harness (-parallel at shards 2/4/8, byte-identity under -race)"
+	GOMAXPROCS=4 go test -race -run 'ParallelModelByteIdentity|ParallelRejectsSampling' \
+		./internal/spec/
+
 	echo "== dlbench allreduce smoke (collective layer: all mechanisms + DL topologies)"
 	go run ./cmd/dlbench -exp allreduce -q >/dev/null
 
@@ -69,6 +73,12 @@ if [ "${1:-}" != "quick" ]; then
 	cmp testdata/golden_dlsim_train.txt "$tmp/golden_train.txt"
 	"$tmp/dlsim" -workload train -scale 12 -iters 2 -shards 4 >"$tmp/golden_train_shards.txt"
 	cmp testdata/golden_dlsim_train.txt "$tmp/golden_train_shards.txt"
+
+	echo "== dlsim parallel golden (-shards 4 -parallel must not change a byte)"
+	"$tmp/dlsim" -workload p2p -shards 4 -parallel >"$tmp/golden_par.txt"
+	cmp testdata/golden_dlsim_p2p.txt "$tmp/golden_par.txt"
+	"$tmp/dlsim" -workload train -scale 12 -iters 2 -shards 4 -parallel >"$tmp/golden_train_par.txt"
+	cmp testdata/golden_dlsim_train.txt "$tmp/golden_train_par.txt"
 
 	echo "== external trace golden (dlsim -tracein + traffic matrix, shards-invariant)"
 	"$tmp/dlsim" -tracein testdata/external.trace -traffic "$tmp/traffic_external.csv" \
@@ -94,6 +104,9 @@ if [ "${1:-}" != "quick" ]; then
 	go run ./cmd/dlperf -label ci -quick -o "$tmp" >/dev/null
 	test -s "$tmp/BENCH_ci.json"
 
+	echo "== dlperf compare gate (fresh quick run vs committed baseline; allocs/op + RSS)"
+	go run ./cmd/dlperf compare -skip-rate BENCH_ci-base.json "$tmp/BENCH_ci.json"
+
 	echo "== histogram benchmark smoke"
 	go test -bench BenchmarkHistogram -benchtime 100x -run '^$' ./internal/metrics/ >/dev/null
 
@@ -107,6 +120,9 @@ if [ "${1:-}" != "quick" ]; then
 
 	echo "== dlserve cluster chaos smoke (3 nodes, SIGKILL mid-job, requeue + byte-identity)"
 	"$tmp/dlsmoke" -serve "$tmp/dlserve" -sim "$tmp/dlsim" -cluster 3 -chaos >/dev/null
+
+	echo "== dlsmoke load generator (2 workers, 3s; sustained jobs/sec + p50/p99 latency)"
+	"$tmp/dlsmoke" -serve "$tmp/dlserve" -load 2 -dur 3s 2>/dev/null | grep "dlsmoke: load:"
 fi
 
 echo "ci: OK"

@@ -1,0 +1,135 @@
+// compare.go implements `dlperf compare old.json new.json`: a regression
+// gate over two recorded trajectory points. Suites are matched by name;
+// the three comparable axes are events/sec (throughput, higher is
+// better), allocs/op (lower is better) and file-level peak RSS. Each
+// axis has its own percentage threshold, and crossing any of them makes
+// the command exit non-zero — which is what lets a ci.sh leg diff a
+// fresh quick run against the committed baseline.
+//
+// Wall-clock throughput is the noisiest axis (it measures the machine as
+// much as the code), so its default threshold is loose and -skip-rate
+// drops it entirely; allocs/op is deterministic for a fixed Go version
+// and input, so its tight default is the axis CI actually leans on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("dlperf compare", flag.ExitOnError)
+	var (
+		maxRate   = fs.Float64("max-rate-drop", 40, "fail when a suite's events/sec drops by more than this percentage")
+		maxAllocs = fs.Float64("max-allocs-rise", 10, "fail when a suite's allocs/op rises by more than this percentage")
+		maxRSS    = fs.Float64("max-rss-rise", 50, "fail when peak RSS rises by more than this percentage")
+		skipRate  = fs.Bool("skip-rate", false, "skip the events/sec axis (wall-clock noise on shared CI hosts)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dlperf compare [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldBF, err := readBench(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlperf compare:", err)
+		return 2
+	}
+	newBF, err := readBench(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlperf compare:", err)
+		return 2
+	}
+
+	if oldBF.Quick != newBF.Quick {
+		fmt.Fprintf(os.Stderr, "dlperf compare: warning: comparing quick=%v against quick=%v (inputs differ; deltas are not meaningful)\n",
+			oldBF.Quick, newBF.Quick)
+	}
+	fmt.Printf("%-14s %14s %14s %9s   %11s %11s %9s\n",
+		"suite", "old events/s", "new events/s", "delta", "old allocs", "new allocs", "delta")
+	failed := false
+	fail := func(format string, a ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "REGRESSION: "+format+"\n", a...)
+	}
+	for _, ns := range newBF.Suites {
+		os2 := findSuite(oldBF.Suites, ns.Name)
+		if os2 == nil {
+			fmt.Printf("%-14s (new suite, no baseline)\n", ns.Name)
+			continue
+		}
+		rateDelta := pctChange(os2.EventsPerSec, ns.EventsPerSec)
+		allocDelta := pctChange(os2.AllocsPerOp, ns.AllocsPerOp)
+		fmt.Printf("%-14s %14.0f %14.0f %+8.1f%%   %11.2f %11.2f %+8.1f%%\n",
+			ns.Name, os2.EventsPerSec, ns.EventsPerSec, rateDelta,
+			os2.AllocsPerOp, ns.AllocsPerOp, allocDelta)
+		if !*skipRate && os2.EventsPerSec > 0 && rateDelta < -*maxRate {
+			fail("%s: events/sec dropped %.1f%% (limit %.1f%%)", ns.Name, -rateDelta, *maxRate)
+		}
+		// The percentage gate needs an absolute floor: a suite at 0.001
+		// allocs/op that drifts to 0.002 is a 100% "rise" of nothing.
+		const allocsFloor = 0.05
+		if os2.AllocsPerOp > 0 && allocDelta > *maxAllocs && ns.AllocsPerOp-os2.AllocsPerOp > allocsFloor {
+			fail("%s: allocs/op rose %.1f%% (limit %.1f%%)", ns.Name, allocDelta, *maxAllocs)
+		}
+	}
+	for _, os2 := range oldBF.Suites {
+		if findSuite(newBF.Suites, os2.Name) == nil {
+			fail("suite %s disappeared from the new run", os2.Name)
+		}
+	}
+	if oldBF.PeakRSSBytes > 0 && newBF.PeakRSSBytes > 0 {
+		rssDelta := pctChange(float64(oldBF.PeakRSSBytes), float64(newBF.PeakRSSBytes))
+		fmt.Printf("%-14s %11.1fMiB %12.1fMiB %+7.1f%%\n", "peak-rss",
+			float64(oldBF.PeakRSSBytes)/(1<<20), float64(newBF.PeakRSSBytes)/(1<<20), rssDelta)
+		if rssDelta > *maxRSS {
+			fail("peak RSS rose %.1f%% (limit %.1f%%)", rssDelta, *maxRSS)
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Printf("ok: %s -> %s within thresholds\n", oldBF.Label, newBF.Label)
+	return 0
+}
+
+func readBench(path string) (*benchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(b, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Suites) == 0 {
+		return nil, fmt.Errorf("%s: no suites recorded", path)
+	}
+	return &bf, nil
+}
+
+func findSuite(ss []suiteResult, name string) *suiteResult {
+	for i := range ss {
+		if ss[i].Name == name {
+			return &ss[i]
+		}
+	}
+	return nil
+}
+
+// pctChange returns the percentage change from old to new (positive =
+// increase). A zero old value yields zero (no meaningful baseline).
+func pctChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}

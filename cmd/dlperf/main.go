@@ -19,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,6 +48,10 @@ type suiteResult struct {
 	// Sharded-kernel columns (kernel-par suite only).
 	Shards               int     `json:"shards,omitempty"`
 	SpeedupVsSingleShard float64 `json:"speedup_vs_single_shard,omitempty"`
+
+	// Phase-parallel column (model-par suite only): wall-clock ratio of
+	// the merged-mode run to the SetParallel(true) run of the same spec.
+	SpeedupVsMerged float64 `json:"speedup_vs_merged,omitempty"`
 }
 
 // benchFile is the BENCH_<label>.json schema.
@@ -60,6 +65,9 @@ type benchFile struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	var (
 		label = flag.String("label", "dev", "trajectory point label; output is BENCH_<label>.json")
 		quick = flag.Bool("quick", false, "small inputs (the ci.sh smoke); full inputs otherwise")
@@ -73,6 +81,7 @@ func main() {
 	}{
 		{"kernel", benchKernel},
 		{"kernel-par", benchKernelPar},
+		{"model-par", benchModelPar},
 		{"noc-p2p", benchP2P},
 		{"table4-suite", benchTableIV},
 		{"collective", benchCollective},
@@ -233,6 +242,73 @@ func benchKernelPar(quick bool) suiteResult {
 		SimNS:                got.SimSpan / uint64(sim.Nanosecond),
 		Shards:               lanes,
 		SpeedupVsSingleShard: speedup,
+	}
+}
+
+// benchModelPar measures the full-system phase-parallel mode: the same
+// sharded spec runs once in deterministic-merge mode and once with
+// SetParallel(true), their rendered reports must be byte-identical (the
+// run aborts otherwise), and the recorded row is the parallel run with
+// its wall-clock speedup over merged mode. PageRank on a 16-DIMM system
+// alternates local rank compute with barrier-delimited frontier
+// exchanges, so it exercises both parallel spans (concurrent fills and
+// lane execution on a multi-core host; per-lane heap cache residency
+// even on one core) and the serial remote phases between them.
+func benchModelPar(quick bool) suiteResult {
+	// Scale 14 keeps the run in the regime where the parallel spans are a
+	// meaningful fraction of wall time; at larger scales the serial remote
+	// exchange phases grow faster than the local compute phases and wash
+	// the speedup out. Best-of-5 because the deltas are ~10% on a loaded
+	// host.
+	sp := spec.Spec{Kind: spec.KindSim, Workload: "pr", Scale: 14, Iters: 5, DIMMs: 16, Channels: 8}
+	reps := 5
+	if quick {
+		sp.Scale = 11
+		sp.Iters = 2
+		reps = 1
+	}
+	const shards = 4
+
+	measure := func(parallel bool) (best time.Duration, report []byte, events, simNS uint64, allocs uint64) {
+		for r := 0; r < reps; r++ {
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			run, err := sp.RunSim(spec.SimHooks{Shards: shards, Parallel: parallel})
+			wall := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			if err != nil {
+				fatal(err)
+			}
+			var text bytes.Buffer
+			run.Report(&text)
+			if r == 0 || wall < best {
+				best = wall
+				report = text.Bytes()
+				events = run.Sys.Sharded().Processed()
+				simNS = run.Res.Makespan / uint64(sim.Nanosecond)
+				allocs = ms1.Mallocs - ms0.Mallocs
+			}
+		}
+		return best, report, events, simNS, allocs
+	}
+	mergedWall, mergedReport, _, _, _ := measure(false)
+	parWall, parReport, events, simNS, allocs := measure(true)
+
+	if !bytes.Equal(mergedReport, parReport) {
+		fatal(fmt.Errorf("model-par: parallel run diverged from merged run\n--- merged\n%s--- parallel\n%s", mergedReport, parReport))
+	}
+	speedup := 0.0
+	if parWall > 0 {
+		speedup = float64(mergedWall) / float64(parWall)
+	}
+	return suiteResult{
+		Events:          events,
+		WallNS:          parWall.Nanoseconds(),
+		AllocsPerOp:     float64(allocs) / float64(events),
+		SimNS:           simNS,
+		Shards:          shards,
+		SpeedupVsMerged: speedup,
 	}
 }
 

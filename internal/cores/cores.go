@@ -19,6 +19,8 @@ package cores
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -45,6 +47,28 @@ type Memory interface {
 	// returns the common release time; like Barrier, every thread of the
 	// group participates.
 	Collective(op CollectiveOp, arrivals []sim.Time, threadDIMM []int, bytes uint32) sim.Time
+}
+
+// LaneLocality is optionally implemented by a Memory whose accesses can be
+// classified by event-lane ownership (internal/nmp's NMP memory). An
+// access is lane-local when its entire simulated effect — caches, DRAM
+// module, counters — stays on the event lane that owns the issuing core's
+// home DIMM: no interconnect, no host, no other DIMM's state. Phase-
+// parallel execution (Group.RunParallel) runs a phase's lanes concurrently
+// only when every queued op of every thread is lane-local; a Memory that
+// does not implement the interface (the host baseline, instrumentation
+// wrappers such as the trace recorder) simply keeps every phase on the
+// merged serial path, which is always correct.
+type LaneLocality interface {
+	// LaneLocalAccess reports whether a Load/Store/LoadDep of addr by the
+	// given global core stays on the core's own DIMM (and therefore lane).
+	LaneLocalAccess(core int, addr uint64) bool
+	// LaneLocalSpan reports whether every line a Scatter over
+	// [addr, addr+span) can touch stays on the core's own DIMM. The whole
+	// span must be checked: scattered line addresses are derived from
+	// offsets within it and can cross a DIMM boundary even when the base
+	// address is local.
+	LaneLocalSpan(core int, addr, span uint64) bool
 }
 
 // CollectiveOp enumerates the gang-wide collective exchanges a workload
@@ -137,6 +161,17 @@ type slot struct {
 	remote bool
 }
 
+// termKind is how a phase segment of a thread's op stream ends: at a
+// rendezvous (barrier, collective) or by the thread finishing.
+type termKind int
+
+const (
+	termNone termKind = iota
+	termBarrier
+	termCollective
+	termFinish
+)
+
 type thread struct {
 	id       int
 	homeDIMM int
@@ -149,6 +184,17 @@ type thread struct {
 	finished bool
 	win      []slot // outstanding ops, issue order
 	stats    ThreadStats
+
+	// Phased-mode state (RunParallel): the lane index, the segment's
+	// pre-collected op queue with its consume cursor, how the segment
+	// terminates, the terminating collective op (for uniformity checks at
+	// the join), and whether the thread is parked at its terminator.
+	lane   int
+	q      []op
+	qi     int
+	term   termKind
+	termOp op
+	parked bool
 }
 
 // Group is a gang of threads executing one NMP kernel (or the host
@@ -188,6 +234,23 @@ type Group struct {
 	profiling  bool
 	profDIMMs  int
 	profDIMMOf func(addr uint64) int
+
+	// Phased-mode state (RunParallel). During a parallel span, thread
+	// events on different lanes run concurrently; everything they touch is
+	// either thread-owned (t.*, barrierArr/barrierIn/collArr/collIn rows,
+	// Profile rows) or lane-owned (the lane* slices, indexed by the
+	// executing thread's lane). The shared rendezvous counters
+	// (barrierWait/collWait/running) are only folded from the lane-owned
+	// counts at the join, in the serial driver.
+	phased        bool
+	inSpan        bool  // a parallel span is executing (lane goroutines live)
+	phaseLeft     int   // serial-phase countdown of unparked threads
+	laneActive    []int // unparked threads per lane (span loop condition)
+	laneBarrier   []int // barrier arrivals this phase, per lane
+	laneColl      []int // collective arrivals this phase, per lane
+	laneFinished  []int // threads finished this phase, per lane
+	laneParkAt    []sim.Time
+	refillScratch []*thread // reused released-thread list between joins
 }
 
 // NewGroup creates an empty thread group over the memory system.
@@ -282,6 +345,10 @@ func (g *Group) Stats() []ThreadStats {
 // step resumes thread t at its current simulated time, obtains its next
 // operation, and processes it.
 func (g *Group) step(t *thread) {
+	if g.phased {
+		g.stepPhased(t)
+		return
+	}
 	if t.started {
 		t.ack <- struct{}{} // release the goroutine to produce its next op
 	}
@@ -296,6 +363,34 @@ func (g *Group) step(t *thread) {
 		g.checkCollective()
 		return
 	}
+	switch o.kind {
+	case opBarrier:
+		g.retireAll(t)
+		g.barrierArr[t.id] = t.time
+		g.barrierIn[t.id] = true
+		g.barrierWait++
+		g.checkBarrier()
+	case opCollective:
+		g.retireAll(t)
+		if g.collWait == 0 {
+			g.collOp, g.collBytes = o.coll, o.size
+		} else if g.collOp != o.coll || g.collBytes != o.size {
+			panic(fmt.Sprintf("cores: mismatched collectives in one gang: %v/%d vs %v/%d",
+				g.collOp, g.collBytes, o.coll, o.size))
+		}
+		g.collArr[t.id] = t.time
+		g.collIn[t.id] = true
+		g.collWait++
+		g.checkCollective()
+	default:
+		g.processOp(t, o)
+	}
+}
+
+// processOp executes one non-rendezvous op for t and schedules the
+// thread's next step. It is shared between the merged step and the phased
+// queue consumer, so the two modes process every op identically.
+func (g *Group) processOp(t *thread, o op) {
 	switch o.kind {
 	case opCompute:
 		t.time += sim.Cycles(o.cycles, g.period)
@@ -335,24 +430,6 @@ func (g *Group) step(t *thread) {
 	case opDrain:
 		g.retireAll(t)
 		g.schedule(t)
-	case opBarrier:
-		g.retireAll(t)
-		g.barrierArr[t.id] = t.time
-		g.barrierIn[t.id] = true
-		g.barrierWait++
-		g.checkBarrier()
-	case opCollective:
-		g.retireAll(t)
-		if g.collWait == 0 {
-			g.collOp, g.collBytes = o.coll, o.size
-		} else if g.collOp != o.coll || g.collBytes != o.size {
-			panic(fmt.Sprintf("cores: mismatched collectives in one gang: %v/%d vs %v/%d",
-				g.collOp, g.collBytes, o.coll, o.size))
-		}
-		g.collArr[t.id] = t.time
-		g.collIn[t.id] = true
-		g.collWait++
-		g.checkCollective()
 	default:
 		panic(fmt.Sprintf("cores: unknown op kind %d", o.kind))
 	}
@@ -490,6 +567,287 @@ func (g *Group) checkCollective() {
 		g.schedule(t)
 	}
 	g.collWait = 0
+}
+
+// fill pre-collects thread t's next phase segment: it resumes the
+// goroutine and receives ops into t.q until the stream hits a rendezvous
+// op (stored as the segment terminator, with the goroutine left blocked on
+// its ack) or the channel closes (the thread's body returned). It must run
+// in a serial context — the whole point of the fill protocol is that
+// workload goroutines never execute during parallel spans. This is sound
+// because Ctx exposes no time queries and no op returns data, so the op
+// stream a goroutine produces cannot depend on when its ops are timed.
+func (g *Group) fill(t *thread) {
+	t.q = t.q[:0]
+	t.qi = 0
+	t.term = termNone
+	t.termOp = op{}
+	t.parked = false
+	if t.started {
+		t.ack <- struct{}{}
+	}
+	t.started = true
+	for {
+		o, ok := <-t.ops
+		if !ok {
+			t.term = termFinish
+			return
+		}
+		switch o.kind {
+		case opBarrier:
+			t.term = termBarrier
+			t.termOp = o
+			return
+		case opCollective:
+			t.term = termCollective
+			t.termOp = o
+			return
+		}
+		t.q = append(t.q, o)
+		t.ack <- struct{}{}
+	}
+}
+
+// fillAll fills a set of threads, concurrently when the host allows. A
+// fill never touches engine or group state — only the thread's own
+// fields and its op/ack channels — so fills are mutually independent as
+// long as the workload bodies follow the BSP ownership discipline the
+// parallel mode requires (mutations between rendezvous ops touch only
+// thread-owned state; cross-thread reads happen only across a barrier).
+// The resulting queues are identical to sequential fills, so parallel
+// filling is byte-identity-preserving; it matters because for compute-
+// heavy workloads the goroutines' own Go-side work (input generation,
+// gradient math) dominates wall time, not event processing.
+func (g *Group) fillAll(ts []*thread) {
+	if len(ts) <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		for _, t := range ts {
+			g.fill(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, t := range ts {
+		wg.Add(1)
+		go func(t *thread) {
+			defer wg.Done()
+			g.fill(t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// stepPhased consumes one queued op for t, or — when the queue is
+// exhausted — processes the segment terminator and parks the thread. It
+// runs either on t's own lane during a parallel span or on the composite
+// engine during a serial phase; all state it touches is thread- or
+// lane-owned, so concurrent lanes never conflict.
+func (g *Group) stepPhased(t *thread) {
+	if t.qi < len(t.q) {
+		o := t.q[t.qi]
+		t.qi++
+		g.processOp(t, o)
+		return
+	}
+	g.retireAll(t)
+	switch t.term {
+	case termFinish:
+		t.finished = true
+		t.stats.Finish = t.time
+		g.laneFinished[t.lane]++
+	case termBarrier:
+		g.barrierArr[t.id] = t.time
+		g.barrierIn[t.id] = true
+		g.laneBarrier[t.lane]++
+	case termCollective:
+		g.collArr[t.id] = t.time
+		g.collIn[t.id] = true
+		g.laneColl[t.lane]++
+	default:
+		panic("cores: phased thread ran out of ops with no terminator")
+	}
+	t.parked = true
+	// Record the event time (not the post-drain thread clock): the merged
+	// checkBarrier/checkCollective clamp releases to the engine's Now at
+	// the last arrival, and the join must replay exactly that clamp.
+	if at := t.eng.Now(); at > g.laneParkAt[t.lane] {
+		g.laneParkAt[t.lane] = at
+	}
+	g.laneActive[t.lane]--
+	if !g.inSpan {
+		g.phaseLeft--
+	}
+}
+
+// classify reports whether the pending phase may run as a parallel span:
+// every queued op of every active thread must be provably confined to the
+// thread's own lane. Rendezvous terminators are excluded — they are
+// processed at the join. Any op touching another lane's state (a remote
+// access, a broadcast) forces the phase serial, where the composite merged
+// engine reproduces exact single-queue FIFO call order.
+func (g *Group) classify(lanes int) bool {
+	if lanes <= 1 {
+		return false
+	}
+	loc, ok := g.mem.(LaneLocality)
+	if !ok {
+		return false
+	}
+	for _, t := range g.threads {
+		if t.finished || t.parked {
+			continue
+		}
+		for _, o := range t.q {
+			switch o.kind {
+			case opCompute, opDrain:
+				// Never touches memory.
+			case opLoad, opStore, opLoadDep:
+				if !loc.LaneLocalAccess(t.coreID, o.addr) {
+					return false
+				}
+			case opScatter:
+				if !loc.LaneLocalSpan(t.coreID, o.addr, o.span) {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunParallel drives the gang to completion over a sharded engine,
+// executing provably lane-confined phases concurrently (one goroutine per
+// lane) and everything else on the composite merged engine. Output is
+// byte-identical to Run on the same sharded engine in merged mode: within
+// a lane the event order is unchanged, concurrent lanes touch disjoint
+// state, and every cross-lane interaction (remote access, broadcast,
+// rendezvous release) happens in a serial context in the same order the
+// merged engine would produce.
+//
+// Phases are delimited by rendezvous ops (barrier/collective — gang-wide,
+// so globally aligned across lanes) and by threads finishing. The fill
+// protocol (see fill) drains each goroutine's op stream for the phase up
+// front, so no workload goroutine runs while lanes execute concurrently.
+func (g *Group) RunParallel(sh *sim.ShardedEngine) sim.Time {
+	lanes := sh.Lanes()
+	g.barrierArr = make([]sim.Time, len(g.threads))
+	g.barrierIn = make([]bool, len(g.threads))
+	g.collArr = make([]sim.Time, len(g.threads))
+	g.collIn = make([]bool, len(g.threads))
+	g.laneActive = make([]int, lanes)
+	g.laneBarrier = make([]int, lanes)
+	g.laneColl = make([]int, lanes)
+	g.laneFinished = make([]int, lanes)
+	g.laneParkAt = make([]sim.Time, lanes)
+	g.phased = true
+	defer func() { g.phased = false }()
+
+	for _, t := range g.threads {
+		t.lane = t.eng.LaneIndex()
+	}
+	g.fillAll(g.threads)
+	for _, t := range g.threads {
+		t := t
+		t.eng.At(t.eng.Now(), func() { g.step(t) })
+	}
+
+	for g.running > 0 {
+		total := 0
+		for i := range g.laneActive {
+			g.laneActive[i] = 0
+			g.laneParkAt[i] = 0
+		}
+		for _, t := range g.threads {
+			if t.finished || t.parked {
+				continue
+			}
+			g.laneActive[t.lane]++
+			total++
+		}
+		if total == 0 {
+			panic(fmt.Sprintf("cores: deadlock with %d threads unfinished (mismatched barriers?)", g.running))
+		}
+		if g.classify(lanes) {
+			g.inSpan = true
+			sh.Span(func(lane int, e *sim.Engine) {
+				for g.laneActive[lane] > 0 {
+					if !e.StepLocal() {
+						panic("cores: lane ran dry mid-span")
+					}
+				}
+			})
+			g.inSpan = false
+			var maxPark sim.Time
+			for _, at := range g.laneParkAt {
+				if at > maxPark {
+					maxPark = at
+				}
+			}
+			sh.CatchUp(maxPark)
+		} else {
+			g.phaseLeft = total
+			for g.phaseLeft > 0 {
+				if !sh.Step() {
+					panic(fmt.Sprintf("cores: deadlock with %d threads unfinished (mismatched barriers?)", g.running))
+				}
+			}
+		}
+
+		// Join: fold the lane-owned arrival counts into the shared
+		// rendezvous counters, exactly as merged-mode step would have.
+		newColl := 0
+		for i := range g.laneBarrier {
+			g.barrierWait += g.laneBarrier[i]
+			newColl += g.laneColl[i]
+			g.running -= g.laneFinished[i]
+			g.laneBarrier[i] = 0
+			g.laneColl[i] = 0
+			g.laneFinished[i] = 0
+		}
+		if newColl > 0 {
+			first := true
+			for _, t := range g.threads {
+				if t.term != termCollective || !g.collIn[t.id] {
+					continue
+				}
+				o := t.termOp
+				if g.collWait == 0 && first {
+					g.collOp, g.collBytes = o.coll, o.size
+				} else if g.collOp != o.coll || g.collBytes != o.size {
+					panic(fmt.Sprintf("cores: mismatched collectives in one gang: %v/%d vs %v/%d",
+						g.collOp, g.collBytes, o.coll, o.size))
+				}
+				first = false
+			}
+			g.collWait += newColl
+		}
+		g.checkBarrier()
+		g.checkCollective()
+
+		// Refill every thread the rendezvous released: it is parked, no
+		// longer flagged as waiting, and its release event is scheduled.
+		released := g.refillScratch[:0]
+		for _, t := range g.threads {
+			if t.finished || !t.parked {
+				continue
+			}
+			if g.barrierIn[t.id] || g.collIn[t.id] {
+				continue
+			}
+			released = append(released, t)
+		}
+		g.refillScratch = released
+		g.fillAll(released)
+	}
+
+	var makespan sim.Time
+	for _, t := range g.threads {
+		if t.stats.Finish > makespan {
+			makespan = t.stats.Finish
+		}
+	}
+	return makespan
 }
 
 // Ctx is the interface workload code uses to interact with the timing

@@ -9,9 +9,9 @@ import (
 // fakeMem is a Memory with fixed latencies: local accesses take localLat,
 // remote (addr >= remoteBase) take remoteLat.
 type fakeMem struct {
-	localLat   sim.Time
-	remoteLat  sim.Time
-	remoteBase uint64
+	localLat    sim.Time
+	remoteLat   sim.Time
+	remoteBase  uint64
 	barriers    int
 	barrierLat  sim.Time
 	accesses    []uint64

@@ -64,6 +64,12 @@ type Options struct {
 	// every rendered table bit-identical for every value, exactly like
 	// Jobs.
 	Shards int
+
+	// Parallel runs lane-confined kernel phases concurrently on each
+	// sharded system (nmp.System.SetParallel). No effect unless Shards
+	// > 1; every rendered table stays bit-identical, exactly like Jobs
+	// and Shards.
+	Parallel bool
 }
 
 // DefaultOptions returns quick-mode options (seed 42, pool width
@@ -208,6 +214,11 @@ func execute(o Options, w workloads.Workload, mech nmp.Mechanism, cfg sysConfig,
 	sys := nmp.MustNewSystem(c)
 	if c.Metrics != nil && o.SamplePeriod > 0 {
 		sys.StartSampler(o.SamplePeriod)
+	}
+	if o.Parallel && o.Shards > 1 && !(c.Metrics != nil && o.SamplePeriod > 0) {
+		if err := sys.SetParallel(true); err != nil {
+			panic(fmt.Sprintf("exp: enabling parallel execution: %v", err))
+		}
 	}
 	if place == nil {
 		// Default: the NMP programming model co-locates each kernel thread

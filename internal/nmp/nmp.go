@@ -156,6 +156,16 @@ type System struct {
 	Ctrs    stats.Counters
 	sampler *metrics.Sampler
 	sharded *sim.ShardedEngine // non-nil when Cfg.Shards > 1; Eng is lane 0
+
+	// Parallel-mode shard-resident sinks: when parallel is on, the memory
+	// layer accumulates counters and traffic into the lane owning the
+	// accessing core's home DIMM instead of the shared Ctrs/Traffic, so
+	// concurrent lanes never write the same cell. Stop folds them into
+	// Ctrs/Traffic in lane index order — pure commutative sums, so the
+	// folded totals are byte-identical to direct accumulation.
+	parallel    bool
+	laneCtrs    []stats.Counters
+	laneTraffic []*metrics.Traffic
 }
 
 // NewSystem builds a system from cfg.
@@ -275,6 +285,59 @@ func (s *System) NewGroup() *cores.Group {
 // Sharded returns the sharded event kernel the system was built on, or nil
 // for a plain single-engine system.
 func (s *System) Sharded() *sim.ShardedEngine { return s.sharded }
+
+// SetParallel turns phase-parallel kernel execution on or off. It is an
+// execution policy, never part of the content-addressed spec: a parallel
+// run renders byte-identical reports to a merged run of the same system.
+// Requires a sharded system (Shards > 1) and no armed sampler (sampler
+// probes read cross-lane state from a lane-0 ticker, which is not safe
+// while lanes run concurrently).
+func (s *System) SetParallel(par bool) error {
+	if !par {
+		s.parallel = false
+		return nil
+	}
+	if s.sharded == nil {
+		return fmt.Errorf("nmp: parallel execution requires a sharded system (Shards > 1)")
+	}
+	if s.sampler != nil {
+		return fmt.Errorf("nmp: parallel execution is incompatible with an armed sampler; drop sampling or parallel mode")
+	}
+	if s.laneCtrs == nil {
+		lanes := s.sharded.Lanes()
+		s.laneCtrs = make([]stats.Counters, lanes)
+		if s.Traffic != nil {
+			s.laneTraffic = make([]*metrics.Traffic, lanes)
+			for i := range s.laneTraffic {
+				s.laneTraffic[i] = metrics.NewTraffic(s.Cfg.Geo.NumDIMMs)
+			}
+		}
+	}
+	s.parallel = true
+	return nil
+}
+
+// Parallel reports whether phase-parallel execution is enabled.
+func (s *System) Parallel() bool { return s.parallel }
+
+// ctrsFor returns the counter sink for activity homed on a DIMM: the
+// owning lane's shard-resident counters in parallel mode, the shared
+// system counters otherwise.
+func (s *System) ctrsFor(dimm int) *stats.Counters {
+	if s.parallel {
+		return &s.laneCtrs[s.LaneFor(dimm)]
+	}
+	return &s.Ctrs
+}
+
+// trafficFor returns the traffic-matrix sink for activity homed on a
+// DIMM, mirroring ctrsFor.
+func (s *System) trafficFor(dimm int) *metrics.Traffic {
+	if s.parallel && s.laneTraffic != nil {
+		return s.laneTraffic[s.LaneFor(dimm)]
+	}
+	return s.Traffic
+}
 
 // LaneFor returns the event lane owning a DIMM: contiguous DIMM blocks map
 // to lanes, aligned with the contiguous DL-group split, so a group never
@@ -402,6 +465,13 @@ func (s *System) StartSampler(period sim.Time) *metrics.Sampler {
 	if s.sampler != nil {
 		return s.sampler
 	}
+	if s.parallel {
+		// The sampler's ticker arms on lane 0 but its probes read link,
+		// tag and host-bus state owned by every lane — unsafe while lanes
+		// run concurrently. Callers must choose one mode (spec.RunSim
+		// rejects the combination up front with a friendlier error).
+		panic("nmp: sampler is not lane-safe in parallel mode; disable sampling or parallel execution")
+	}
 	sp := metrics.NewSampler(period, s.Cfg.Metrics)
 	if s.Link != nil {
 		for gi, net := range s.Link.Networks() {
@@ -441,6 +511,17 @@ func (s *System) Stop() {
 		s.Link.Stop()
 	} else if s.hostModel != nil {
 		s.hostModel.Stop()
+	}
+	// Fold the shard-resident sinks into the shared views in lane index
+	// order, then zero them so repeated Stops (and any later kernel on
+	// the same system) stay correct.
+	for i := range s.laneCtrs {
+		s.Ctrs.Merge(&s.laneCtrs[i])
+		s.laneCtrs[i].Reset()
+	}
+	for i, tm := range s.laneTraffic {
+		s.Traffic.Merge(tm)
+		s.laneTraffic[i] = metrics.NewTraffic(s.Cfg.Geo.NumDIMMs)
 	}
 }
 

@@ -1,0 +1,188 @@
+// placement_test.go pins the thread-placement and lane-ownership helpers
+// at their boundary cases: uneven thread/DIMM ratios, single-group
+// shuffles, shard counts above the DIMM count, and host threads. The
+// parallel execution path leans on LaneFor for counter ownership, so its
+// edges are contract, not detail.
+package nmp
+
+import (
+	"testing"
+)
+
+// TestPartitionDIMMUnevenHostThreads covers a thread count that does not
+// divide the DIMM count: the host baseline stripes partitions round-robin
+// so every DIMM stays in rotation even when the last pass is partial.
+func TestPartitionDIMMUnevenHostThreads(t *testing.T) {
+	cfg := DefaultConfig(4, 2, MechHostCPU)
+	cfg.HostCores = 6 // 6 threads over 4 DIMMs: wraps mid-pass
+	s := MustNewSystem(cfg)
+	if s.Threads() != 6 {
+		t.Fatalf("threads = %d, want 6", s.Threads())
+	}
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i, w := range want {
+		if got := s.PartitionDIMM(i); got != w {
+			t.Fatalf("PartitionDIMM(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Host threads never live on a DIMM: placement is -1 across the board.
+	for i, d := range s.DefaultPlacement() {
+		if d != -1 {
+			t.Fatalf("host thread %d placed on DIMM %d, want -1", i, d)
+		}
+	}
+}
+
+// TestDefaultPlacementMatchesPartition pins the colocation contract on NMP
+// systems: thread i runs on the DIMM its partition lives on, in contiguous
+// blocks that cover every DIMM.
+func TestDefaultPlacementMatchesPartition(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(8, 4, MechDIMMLink))
+	place := s.DefaultPlacement()
+	seen := make(map[int]int)
+	prev := 0
+	for i, d := range place {
+		if d != s.PartitionDIMM(i) {
+			t.Fatalf("thread %d on DIMM %d but partition on DIMM %d", i, d, s.PartitionDIMM(i))
+		}
+		if d < prev {
+			t.Fatalf("placement not block-contiguous at thread %d: %v", i, place)
+		}
+		prev = d
+		seen[d]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("placement covers %d DIMMs, want 8", len(seen))
+	}
+	for d, n := range seen {
+		if n != s.Cfg.CoresPerDIMM {
+			t.Fatalf("DIMM %d got %d threads, want %d", d, n, s.Cfg.CoresPerDIMM)
+		}
+	}
+}
+
+// TestGroupShuffledPlacementSingleGroup forces DL.NumGroups = 1: the
+// shuffle must degenerate to one whole-array permutation — same multiset
+// of DIMMs, deterministic per seed, and host systems untouched.
+func TestGroupShuffledPlacementSingleGroup(t *testing.T) {
+	cfg := DefaultConfig(4, 2, MechDIMMLink)
+	cfg.DL.NumGroups = 1
+	s := MustNewSystem(cfg)
+	base := s.DefaultPlacement()
+	got := s.GroupShuffledPlacement(7)
+	if len(got) != len(base) {
+		t.Fatalf("shuffle changed thread count: %d != %d", len(got), len(base))
+	}
+	count := func(p []int) map[int]int {
+		m := make(map[int]int)
+		for _, d := range p {
+			m[d]++
+		}
+		return m
+	}
+	cb, cg := count(base), count(got)
+	for d, n := range cb {
+		if cg[d] != n {
+			t.Fatalf("DIMM %d occupancy changed: %d -> %d", d, n, cg[d])
+		}
+	}
+	again := s.GroupShuffledPlacement(7)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("same seed produced different shuffles at %d: %v vs %v", i, got, again)
+		}
+	}
+
+	h := MustNewSystem(DefaultConfig(4, 2, MechHostCPU))
+	for _, d := range h.GroupShuffledPlacement(7) {
+		if d != -1 {
+			t.Fatal("host placement must stay -1 through the shuffle")
+		}
+	}
+}
+
+// TestGroupShuffledPlacementStaysInGroup pins the NUMA-awareness claim:
+// with two DL groups a shuffled thread may move, but never across the
+// group boundary — its DIMM stays on the same side of the split.
+func TestGroupShuffledPlacementStaysInGroup(t *testing.T) {
+	cfg := DefaultConfig(8, 4, MechDIMMLink)
+	cfg.DL.NumGroups = 2
+	s := MustNewSystem(cfg)
+	place := s.GroupShuffledPlacement(3)
+	half := len(place) / 2
+	for i, d := range place {
+		if i < half && d >= 4 {
+			t.Fatalf("thread %d (group 0) shuffled onto DIMM %d (group 1)", i, d)
+		}
+		if i >= half && d < 4 {
+			t.Fatalf("thread %d (group 1) shuffled onto DIMM %d (group 0)", i, d)
+		}
+	}
+}
+
+// TestLaneForContiguousBlocks checks the DIMM→lane map on an evenly
+// sharded system: contiguous blocks, every lane owned, host threads
+// (DIMM -1) on lane 0.
+func TestLaneForContiguousBlocks(t *testing.T) {
+	cfg := DefaultConfig(8, 4, MechDIMMLink)
+	cfg.Shards = 4
+	s := MustNewSystem(cfg)
+	if got := s.Sharded().Lanes(); got != 4 {
+		t.Fatalf("lanes = %d, want 4", got)
+	}
+	for d := 0; d < 8; d++ {
+		if got, want := s.LaneFor(d), d/2; got != want {
+			t.Fatalf("LaneFor(%d) = %d, want %d", d, got, want)
+		}
+	}
+	if s.LaneFor(-1) != 0 {
+		t.Fatal("host threads must live on lane 0")
+	}
+}
+
+// TestLaneForShardsClampedToDIMMs asks for more shards than DIMMs: the
+// lane count clamps to the DIMM count and the map becomes the identity.
+func TestLaneForShardsClampedToDIMMs(t *testing.T) {
+	cfg := DefaultConfig(4, 2, MechDIMMLink)
+	cfg.Shards = 64
+	s := MustNewSystem(cfg)
+	if got := s.Sharded().Lanes(); got != 4 {
+		t.Fatalf("lanes = %d, want clamp to 4", got)
+	}
+	for d := 0; d < 4; d++ {
+		if s.LaneFor(d) != d {
+			t.Fatalf("LaneFor(%d) = %d under clamp, want identity", d, s.LaneFor(d))
+		}
+	}
+}
+
+// TestLaneForUnsharded pins the degenerate case: without a sharded kernel
+// every DIMM — and the host — maps to lane 0.
+func TestLaneForUnsharded(t *testing.T) {
+	s := MustNewSystem(DefaultConfig(4, 2, MechDIMMLink))
+	for d := -1; d < 4; d++ {
+		if s.LaneFor(d) != 0 {
+			t.Fatalf("LaneFor(%d) = %d on unsharded system, want 0", d, s.LaneFor(d))
+		}
+	}
+}
+
+// TestLaneForRespectsGroupAlignment pins the property the parallel path
+// depends on: when Shards divides the group count, no DL group ever spans
+// two lanes — lane ownership follows the contiguous group split.
+func TestLaneForRespectsGroupAlignment(t *testing.T) {
+	cfg := DefaultConfig(16, 8, MechDIMMLink)
+	cfg.DL.NumGroups = 4
+	cfg.Shards = 2
+	s := MustNewSystem(cfg)
+	perGroup := 16 / 4
+	for g := 0; g < 4; g++ {
+		lane := s.LaneFor(g * perGroup)
+		for d := g * perGroup; d < (g+1)*perGroup; d++ {
+			if s.LaneFor(d) != lane {
+				t.Fatalf("group %d spans lanes: DIMM %d on lane %d, group head on %d",
+					g, d, s.LaneFor(d), lane)
+			}
+		}
+	}
+}

@@ -76,6 +76,10 @@ type Config struct {
 	// therefore the content-addressed cache — is byte-identical for
 	// every value.
 	Shards int
+	// Parallel runs lane-confined kernel phases concurrently on every
+	// sharded simulation (requires Shards > 1). Same byte-identity
+	// contract as Shards: pure execution policy, never in the spec.
+	Parallel bool
 	// JobTimeout, when non-zero, bounds each job's wall-clock run time;
 	// an expired job is reported as canceled.
 	JobTimeout time.Duration

@@ -51,8 +51,9 @@ type ShardedEngine struct {
 
 	// Merged-mode composite state: the global clock and the shared
 	// sequence counter that reproduces single-engine total order.
-	now Time
-	seq uint64
+	now   Time
+	seq   uint64
+	spans uint64 // Span invocations (phase-parallel stretches run)
 
 	// Parallel-mode window state.
 	horizon Time          // current admission horizon; Mail below it panics
@@ -132,6 +133,11 @@ func (o *ShardedEngine) Lookahead() Time { return o.lookahead }
 func (o *ShardedEngine) Now() Time { return o.now }
 
 // Processed returns the total events executed across all lanes.
+// Spans returns how many parallel Span stretches have run — a cheap
+// telltale that phase-parallel execution actually engaged (zero means
+// every phase classified serial).
+func (o *ShardedEngine) Spans() uint64 { return o.spans }
+
 func (o *ShardedEngine) Processed() uint64 {
 	var total uint64
 	for _, e := range o.lanes {
@@ -371,6 +377,108 @@ func (o *ShardedEngine) window(limit Time) bool {
 	}
 	o.now = floor
 	return true
+}
+
+// Span temporarily detaches every lane from the merged composite and runs
+// run(lane, engine) for each lane — concurrently when the host has more
+// than one processor — then reattaches them. It is the execution primitive
+// behind phase-parallel model runs (cores.Group.RunParallel): unlike
+// SetParallel, which commits the whole run to window mode before any event
+// exists, Span parallelizes one bounded stretch in the middle of a merged
+// run, for phases the model has proven free of cross-lane interaction.
+//
+// Inside the span each lane owns its clock (seeded from the composite) and
+// its sequence counter (every lane seeded from the same composite base, so
+// per-lane assignment mirrors what the shared counter would have handed
+// out; cross-lane (at, seq) ties among leftover events are broken by lane
+// index in the composite scan, deterministically). The run callback must
+// confine itself to lane-local state — lane engines must not schedule onto,
+// or read, other lanes. After the span the composite sequence counter jumps
+// to the furthest lane counter, so later merged events order after every
+// span event.
+//
+// Span panics on a parallel-mode (SetParallel) engine: window mode already
+// runs lanes concurrently and the two schemes must not nest.
+func (o *ShardedEngine) Span(run func(lane int, e *Engine)) {
+	if o.par {
+		panic("sim: Span on a parallel-mode sharded engine")
+	}
+	o.spans++
+	base := o.seq
+	for _, e := range o.lanes {
+		e.now = o.now
+		e.seq = base
+		e.nowp = &e.now
+		e.seqp = &e.seq
+	}
+	if len(o.lanes) == 1 || runtime.GOMAXPROCS(0) == 1 {
+		// Lane schedules inside a span are independent by contract, so
+		// sequential execution in lane order is result-identical.
+		for i, e := range o.lanes {
+			run(i, e)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, e := range o.lanes {
+			wg.Add(1)
+			go func(i int, e *Engine) {
+				defer wg.Done()
+				run(i, e)
+			}(i, e)
+		}
+		wg.Wait()
+	}
+	maxSeq := base
+	for _, e := range o.lanes {
+		if e.seq > maxSeq {
+			maxSeq = e.seq
+		}
+		e.nowp = &o.now
+		e.seqp = &o.seq
+	}
+	o.seq = maxSeq
+}
+
+// CatchUp executes pending events strictly before t in merged order, then
+// advances the composite and every lane clock to exactly t. It is the join
+// step after a Span: lanes stopped at their own frontiers, and the events
+// left behind on slower lanes (periodic ticks, mostly) must run before the
+// model resolves anything at the span's global park time t — exactly the
+// events a single merged engine would have popped before reaching t.
+// Strictly before: events at t itself belong to the resumed merged run,
+// after the model's rendezvous bookkeeping at t.
+func (o *ShardedEngine) CatchUp(t Time) {
+	if o.par {
+		panic("sim: CatchUp on a parallel-mode sharded engine")
+	}
+	for {
+		best := -1
+		for i, e := range o.lanes {
+			if len(e.events) == 0 || e.events[0].at >= t {
+				continue
+			}
+			if best < 0 || e.events[0].before(&o.lanes[best].events[0]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := o.lanes[best]
+		ev := e.events.pop()
+		o.now = ev.at
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	if t > o.now {
+		o.now = t
+	}
+	for _, e := range o.lanes {
+		if t > e.now {
+			e.now = t
+		}
+	}
 }
 
 // runWindow drains this lane's events strictly below the horizon.

@@ -238,6 +238,11 @@ func (e *Engine) Step() bool {
 	return e.stepLocal()
 }
 
+// StepLocal pops and executes this engine's own earliest event without
+// consulting the composite — the per-lane inner loop of a parallel span
+// (ShardedEngine.Span). On a standalone engine it is identical to Step.
+func (e *Engine) StepLocal() bool { return e.stepLocal() }
+
 // stepLocal pops and executes this engine's own earliest event — the
 // standalone Step, and the per-lane inner loop of a parallel window.
 func (e *Engine) stepLocal() bool {

@@ -37,6 +37,12 @@ type SimHooks struct {
 	// Spec: the report bytes are identical for every value, which the
 	// shard-differential tests pin.
 	Shards int
+
+	// Parallel runs lane-confined phases of the kernel concurrently
+	// (nmp.System.SetParallel). Requires Shards > 1 and no sampling; the
+	// report bytes stay identical to the merged run, which the parallel
+	// differential tests pin. Execution policy, never part of the Spec.
+	Parallel bool
 }
 
 // SimRun bundles one completed simulation.
@@ -64,12 +70,20 @@ func (s Spec) RunSim(h SimHooks) (*SimRun, error) {
 	}
 	cfg.Metrics = h.Metrics
 	cfg.Shards = h.Shards
+	if h.Parallel && h.SamplePeriod > 0 {
+		return nil, fmt.Errorf("spec: -parallel and -sample are incompatible (sampler probes read cross-lane state); drop one")
+	}
 	sys, err := nmp.NewSystem(cfg)
 	if err != nil {
 		return nil, err
 	}
 	if h.Metrics != nil && h.SamplePeriod > 0 {
 		sys.StartSampler(h.SamplePeriod)
+	}
+	if h.Parallel {
+		if err := sys.SetParallel(true); err != nil {
+			return nil, err
+		}
 	}
 	w, err := n.BuildWorkload(sys)
 	if err != nil {
@@ -194,8 +208,9 @@ type ExpResult struct {
 // knobs layered onto an exp-kind run. Neither field changes a rendered
 // byte — Jobs picks the grid pool width, Shards the event kernel.
 type ExpHooks struct {
-	Jobs   int // worker-pool width per experiment grid (0 = GOMAXPROCS)
-	Shards int // sharded event kernel lanes per system (0/1 = single queue)
+	Jobs     int  // worker-pool width per experiment grid (0 = GOMAXPROCS)
+	Shards   int  // sharded event kernel lanes per system (0/1 = single queue)
+	Parallel bool // phase-parallel kernel execution (requires Shards > 1)
 }
 
 // RunExp executes an exp-kind spec's targets in registry order. Progress
@@ -216,6 +231,7 @@ func (s Spec) RunExp(ctx context.Context, h ExpHooks, progress func(done, total 
 		return nil, err
 	}
 	o.Shards = h.Shards
+	o.Parallel = h.Parallel
 	results := make([]ExpResult, 0, len(targets))
 	for _, e := range targets {
 		if ctx != nil {

@@ -82,6 +82,76 @@ func TestShardedReportByteIdentity(t *testing.T) {
 	}
 }
 
+// reportParallel runs the spec at the given shard count with
+// phase-parallel execution on and returns the rendered bodies.
+func reportParallel(t *testing.T, sp Spec, shards int) ([]byte, []byte) {
+	t.Helper()
+	run, err := sp.RunSim(SimHooks{Shards: shards, Parallel: true})
+	if err != nil {
+		t.Fatalf("shards=%d parallel: %v", shards, err)
+	}
+	var text bytes.Buffer
+	run.Report(&text)
+	js, err := run.JSON()
+	if err != nil {
+		t.Fatalf("shards=%d parallel: JSON: %v", shards, err)
+	}
+	return text.Bytes(), js
+}
+
+// TestParallelModelByteIdentity is the full-model parallel differential
+// harness: every captured workload class runs with SetParallel(true) at
+// shards 2/4/8, and the rendered report and JSON body must be
+// byte-identical to the plain single-engine run. Run it under -race with
+// GOMAXPROCS >= 4 (the ci.sh leg does) so lane goroutines genuinely
+// interleave. -short keeps two representative specs and one shard count.
+func TestParallelModelByteIdentity(t *testing.T) {
+	specs := shardDiffSpecs()
+	counts := []int{2, 4, 8}
+	if testing.Short() {
+		specs = specs[:2]
+		counts = []int{4}
+	}
+	for _, sp := range specs {
+		sp := sp
+		name := sp.Workload + "-" + sp.Mech
+		if sp.Fault != "" {
+			name += "-fault"
+		}
+		t.Run(name, func(t *testing.T) {
+			wantText, wantJSON := report(t, sp, 0)
+			if len(wantText) == 0 {
+				t.Fatal("empty baseline report")
+			}
+			for _, n := range counts {
+				gotText, gotJSON := reportParallel(t, sp, n)
+				if !bytes.Equal(gotText, wantText) {
+					t.Fatalf("shards=%d parallel: report diverges from single-queue run\n--- shards=0\n%s--- shards=%d parallel\n%s",
+						n, wantText, n, gotText)
+				}
+				if !bytes.Equal(gotJSON, wantJSON) {
+					t.Fatalf("shards=%d parallel: JSON body diverges from single-queue run", n)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRejectsSampling pins the execution-policy guardrails: the
+// sampler's probes read cross-lane state from a lane-0 ticker, so
+// -parallel + -sample must fail fast with a clear error instead of
+// racing, and SetParallel on an unsharded system must refuse.
+func TestParallelRejectsSampling(t *testing.T) {
+	sp := Spec{Kind: KindSim, Workload: "p2p", DIMMs: 4, Channels: 2}
+	_, err := sp.RunSim(SimHooks{Shards: 4, Parallel: true, SamplePeriod: 1000})
+	if err == nil {
+		t.Fatal("RunSim accepted -parallel together with -sample")
+	}
+	if _, err := sp.RunSim(SimHooks{Parallel: true}); err == nil {
+		t.Fatal("RunSim accepted -parallel on an unsharded system")
+	}
+}
+
 // TestShardedOverprovisionedClamped pins the lane clamp: asking for more
 // shards than DIMMs must run (clamped to the DIMM count), not panic, and
 // still match the baseline bytes.
